@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Translation-trace characterisation (the paper's observations O3/O4).
+
+Runs a benchmark on the baseline wafer, then analyses the stream of
+translation requests the IOMMU saw: per-page translation counts (Fig. 6),
+reuse distances (Fig. 7), and spatial locality (Fig. 8).  Use it to
+understand *why* a workload does or doesn't benefit from each HDPAT
+mechanism before running the full ablation.
+
+Run:
+    python examples/trace_analysis.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import run_benchmark, wafer_7x7_config
+from repro.config.scaling import capacity_scaled
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "pr"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.1
+
+    config = capacity_scaled(wafer_7x7_config(), scale)
+    result = run_benchmark(config, workload, scale=scale)
+    analyzers = result.extras["iommu_analyzers"]
+
+    counts = analyzers["translation_counts"]
+    print(f"=== {workload.upper()}: IOMMU translation characterisation ===")
+    print(f"requests: {counts.total_requests:,} over "
+          f"{counts.unique_pages:,} pages "
+          f"({counts.mean_translations_per_page():.2f} translations/page)")
+    print(f"pages translated exactly once: "
+          f"{counts.fraction_single_translation():.1%}")
+
+    reuse = analyzers["reuse_distance"]
+    print(f"\nReuse distances ({reuse.repeated_requests:,} repeats):")
+    for label, fraction in zip(reuse.histogram.labels(),
+                               reuse.histogram.fractions()):
+        bar = "#" * int(fraction * 40)
+        print(f"  {label:>14}: {fraction:6.1%} {bar}")
+
+    locality = analyzers["spatial_locality"]
+    print("\nNext-request page distance (cumulative):")
+    for pages in (1, 2, 4, 16):
+        print(f"  within {pages:>2} pages: {locality.fraction_within(pages):6.1%}")
+
+    print("\nReading the tea leaves:")
+    if counts.mean_translations_per_page() > 5:
+        print("  - hot shared pages re-translated many times: peer caching "
+              "and redirection will serve the repeats.")
+    if counts.fraction_single_translation() > 0.8:
+        print("  - single-touch pages: caching won't help, prefetch might.")
+    if reuse.fraction_short(10) > 0.2:
+        print("  - many short-distance repeats: PW-queue revisit "
+              "(coalescing) will catch these.")
+    if locality.fraction_within(4) > 0.15:
+        print("  - strong spatial locality: proactive N+1..N+3 delivery "
+              "will pay off.")
+    if reuse.max_distance > 10_000:
+        print("  - very long reuse distances exist: small tables will "
+              "evict before reuse (the MT failure mode).")
+
+
+if __name__ == "__main__":
+    main()

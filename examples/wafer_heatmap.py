@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Visualise geometric imbalance (observation O2) as an ASCII heatmap.
+
+Runs a benchmark on the baseline wafer and draws each GPM's finish time on
+the mesh: peripheral tiles shade darker (slower), the centre stays light —
+the imbalance HDPAT's concentric layers exploit.  A second map shows how
+HDPAT shifts peer-probe load onto the inner rings.
+
+Run:
+    python examples/wafer_heatmap.py [benchmark] [scale]
+"""
+
+import sys
+
+from repro import HDPATConfig, run_benchmark, wafer_7x7_config
+from repro.config.scaling import capacity_scaled
+from repro.noc.topology import MeshTopology
+from repro.system.visualize import ring_summary, wafer_heatmap
+from repro.system.wafer import WaferScaleGPU
+from repro.mem.allocator import PageAllocator
+from repro.workloads.registry import get_workload
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "spmv"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.08
+    topology = MeshTopology(7, 7)
+
+    baseline = run_benchmark(
+        capacity_scaled(wafer_7x7_config(), scale), workload, scale=scale
+    )
+    print(wafer_heatmap(
+        topology, baseline.per_gpm_finish,
+        title=f"\n{workload.upper()} per-GPM finish time (baseline) — "
+              "darker = slower:",
+    ))
+    print("\nPer-ring means (cycles):")
+    for ring, count, mean in ring_summary(topology, baseline.per_gpm_finish):
+        print(f"  ring {ring}: {count:2d} GPMs, mean finish {mean:,.0f}")
+
+    # Second view: where HDPAT's auxiliary work lands.
+    config = capacity_scaled(
+        wafer_7x7_config(hdpat=HDPATConfig.full()), scale
+    )
+    wafer = WaferScaleGPU(config)
+    allocator = PageAllocator(wafer.address_space, wafer.num_gpms)
+    trace = get_workload(workload).generate(
+        wafer.num_gpms, allocator, scale=scale, seed=config.seed
+    )
+    for allocation in allocator.allocations:
+        wafer.install_entries(allocator.materialize(allocation))
+    wafer.load_traces(trace.per_gpm, burst=trace.burst, interval=trace.interval)
+    wafer.run()
+    probes = [g.stat("peer_probes_served") for g in wafer.gpms]
+    print(wafer_heatmap(
+        topology, probes,
+        title="\nHDPAT peer probes served per GPM — load concentrates on "
+              "the caching rings:",
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy installer shim.
+
+Offline environments often lack the `wheel` package, which breaks
+PEP 517 editable installs (`pip install -e .`).  This shim lets
+`python setup.py develop` install the package from pyproject metadata.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""HDPAT: Hierarchical Distributed Page Address Translation for Wafer-Scale
+GPUs — a complete reproduction of the HPCA 2026 paper.
+
+Quick start::
+
+    from repro import HDPATConfig, run_benchmark, wafer_7x7_config
+
+    baseline = run_benchmark(wafer_7x7_config(), "spmv", scale=0.1)
+    hdpat = run_benchmark(
+        wafer_7x7_config(hdpat=HDPATConfig.full()), "spmv", scale=0.1
+    )
+    print(f"speedup: {hdpat.speedup_over(baseline):.2f}x")
+
+The package layers: a discrete-event engine (:mod:`repro.sim`), the mesh
+NoC (:mod:`repro.noc`), memory/TLB/filter substrates (:mod:`repro.mem`,
+:mod:`repro.tlb`, :mod:`repro.filters`), GPM and IOMMU models
+(:mod:`repro.gpm`, :mod:`repro.iommu`), the HDPAT mechanisms
+(:mod:`repro.core`), 14 synthetic workloads (:mod:`repro.workloads`), and
+one experiment module per paper figure/table (:mod:`repro.experiments`).
+"""
+
+from repro.config import (
+    GPMConfig,
+    HDPATConfig,
+    IOMMUConfig,
+    NoCConfig,
+    PeerCachingScheme,
+    SystemConfig,
+    gpm_preset,
+    mcm_4gpm_config,
+    wafer_7x12_config,
+    wafer_7x7_config,
+)
+from repro.core import ServedBy
+from repro.system import RunResult, WaferScaleGPU, run_benchmark
+from repro.workloads import BENCHMARK_NAMES, get_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "GPMConfig",
+    "HDPATConfig",
+    "IOMMUConfig",
+    "NoCConfig",
+    "PeerCachingScheme",
+    "RunResult",
+    "ServedBy",
+    "SystemConfig",
+    "WaferScaleGPU",
+    "__version__",
+    "get_workload",
+    "gpm_preset",
+    "mcm_4gpm_config",
+    "run_benchmark",
+    "wafer_7x12_config",
+    "wafer_7x7_config",
+]

@@ -1,0 +1,28 @@
+"""System configuration: dataclasses mirroring Table I plus presets."""
+
+from repro.config.gpm import CacheConfig, GPMConfig, TLBConfig
+from repro.config.hdpat import HDPATConfig, PeerCachingScheme
+from repro.config.iommu import IOMMUConfig
+from repro.config.noc import NoCConfig
+from repro.config.presets import (
+    gpm_preset,
+    mcm_4gpm_config,
+    wafer_7x12_config,
+    wafer_7x7_config,
+)
+from repro.config.system import SystemConfig
+
+__all__ = [
+    "CacheConfig",
+    "GPMConfig",
+    "HDPATConfig",
+    "IOMMUConfig",
+    "NoCConfig",
+    "PeerCachingScheme",
+    "SystemConfig",
+    "TLBConfig",
+    "gpm_preset",
+    "mcm_4gpm_config",
+    "wafer_7x12_config",
+    "wafer_7x7_config",
+]

@@ -1,0 +1,48 @@
+"""IOMMU-side configuration (Table I, CPU side)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.config.gpm import TLBConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class IOMMUConfig:
+    """The central IOMMU: walker pool, buffers, and HDPAT-side structures.
+
+    ``buffer_capacity`` is the pre-queue in front of the walkers — the
+    structure whose occupancy Figure 4 plots (set to 4096 there).
+    ``pw_queue_capacity`` is the internal walker request queue; the PW-queue
+    revisit mechanism (§IV-F) and Barre's coalescing both operate on it.
+    """
+
+    num_walkers: int = 16
+    walk_latency: int = 500
+    buffer_capacity: int = 4096
+    pw_queue_capacity: int = 64
+    redirection_entries: int = 1024
+    #: Replace the redirection table with a same-area TLB (Fig. 19).
+    iommu_tlb: Optional[TLBConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.num_walkers <= 0:
+            raise ConfigurationError("IOMMU needs at least one walker")
+        if self.walk_latency < 0:
+            raise ConfigurationError("walk latency cannot be negative")
+
+    def idealized(self, walk_latency: int = None, num_walkers: int = None) -> "IOMMUConfig":
+        """A copy with idealised parameters (Fig. 2 headroom study)."""
+        return IOMMUConfig(
+            num_walkers=num_walkers if num_walkers is not None else self.num_walkers,
+            walk_latency=walk_latency if walk_latency is not None else self.walk_latency,
+            buffer_capacity=self.buffer_capacity,
+            pw_queue_capacity=max(
+                self.pw_queue_capacity,
+                num_walkers if num_walkers is not None else 0,
+            ),
+            redirection_entries=self.redirection_entries,
+            iommu_tlb=self.iommu_tlb,
+        )

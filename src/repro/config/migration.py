@@ -1,0 +1,39 @@
+"""Page-migration configuration (extension; the paper's future work).
+
+The paper excludes migration from its scope ("due to the absence of
+mature page migration mechanisms tailored for wafer-scale GPU systems")
+and names "intelligent page migration" as future work.  This extension
+supplies a first such mechanism so the design space can be explored: the
+IOMMU watches which GPM keeps re-translating a remote page and, past a
+threshold, migrates the page to that GPM — paying a page copy plus a
+wafer-wide TLB shootdown.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MigrationConfig:
+    """Knobs for the migration engine."""
+
+    enabled: bool = False
+    #: Walks by the same (non-owner) GPM before its page migrates to it.
+    threshold: int = 4
+    #: Tracking-table capacity (LRU over VPNs).
+    table_entries: int = 512
+    #: Minimum cycles between migrations of the same page (anti-ping-pong).
+    cooldown_cycles: int = 50_000
+    #: Cap on total migrations per run (safety valve).
+    max_migrations: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ConfigurationError("migration threshold must be >= 1")
+        if self.table_entries < 1:
+            raise ConfigurationError("migration table needs >= 1 entry")
+        if self.cooldown_cycles < 0:
+            raise ConfigurationError("cooldown cannot be negative")

@@ -1,0 +1,21 @@
+"""Mesh network configuration (Table I, bottom row)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """Per-link latency and bandwidth (768 GB/s, 32 cycles per Table I)."""
+
+    link_latency: int = 32
+    link_bandwidth: float = 768e9
+
+    def __post_init__(self) -> None:
+        if self.link_latency < 0:
+            raise ConfigurationError("link latency cannot be negative")
+        if self.link_bandwidth <= 0:
+            raise ConfigurationError("link bandwidth must be positive")

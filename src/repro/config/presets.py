@@ -1,0 +1,85 @@
+"""Named configurations used by the evaluation.
+
+GPM presets follow the paper's methodology: each GPM is roughly one quarter
+of the named commercial GPU's memory system (§V-A scales an MI100 the same
+way), so the L2 data cache and HBM figures below are quarter-GPU numbers.
+The H100/H200 presets model the "large-scale memory systems" the paper
+highlights (256 KB L1 per CU, 50 MB L2) — here a 12.5 MB quarter-L2 plus a
+wider L1 reach via ``outstanding_per_cu``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.config.gpm import CacheConfig, GPMConfig
+from repro.config.system import SystemConfig
+from repro.errors import ConfigurationError
+from repro.units import GB, MB
+
+_BASE = GPMConfig()
+
+
+def _with_memory_system(
+    name: str,
+    l2_bytes: int,
+    hbm_bandwidth: float,
+    hbm_capacity: int,
+    outstanding_per_cu: int = _BASE.outstanding_per_cu,
+) -> GPMConfig:
+    return replace(
+        _BASE,
+        name=name,
+        l2_cache=CacheConfig(l2_bytes, 16, 64, 20),
+        hbm_bandwidth=hbm_bandwidth,
+        hbm_capacity=hbm_capacity,
+        outstanding_per_cu=outstanding_per_cu,
+    )
+
+
+_GPM_PRESETS = {
+    # Table I baseline: quarter MI100.
+    "mi100": _BASE,
+    # MI250X GCD quarter: 8 MB L2 slice, HBM2e.
+    "mi200": _with_memory_system("mi200", 2 * MB, 1.6e12, 16 * GB),
+    # MI300X quarter: larger cache slice (Infinity Cache share), HBM3.
+    "mi300": _with_memory_system("mi300", 16 * MB, 2.6e12, 24 * GB),
+    # H100 quarter: 12.5 MB of the 50 MB L2, deeper per-CU concurrency.
+    "h100": _with_memory_system(
+        "h100", 12800 * 1024, 1.9e12, 20 * GB, outstanding_per_cu=8
+    ),
+    # H200 quarter: same SM-side resources, HBM3e bandwidth.
+    "h200": _with_memory_system(
+        "h200", 12800 * 1024, 3.0e12, 32 * GB, outstanding_per_cu=8
+    ),
+}
+
+
+def gpm_preset(name: str) -> GPMConfig:
+    """Look up a GPM preset by commercial-GPU name."""
+    try:
+        return _GPM_PRESETS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown GPM preset {name!r}; choose from {sorted(_GPM_PRESETS)}"
+        ) from None
+
+
+def gpm_preset_names() -> list:
+    return sorted(_GPM_PRESETS)
+
+
+def wafer_7x7_config(**overrides) -> SystemConfig:
+    """The paper's baseline wafer: 7x7 mesh, 48 GPMs, centre CPU."""
+    return SystemConfig(mesh_width=7, mesh_height=7, **overrides)
+
+
+def wafer_7x12_config(**overrides) -> SystemConfig:
+    """The larger wafer of Figure 22: 7x12 mesh, 83 GPMs."""
+    return SystemConfig(mesh_width=7, mesh_height=12, **overrides)
+
+
+def mcm_4gpm_config(**overrides) -> SystemConfig:
+    """A conventional MCM-GPU: 4 GPMs in a row around a centre CPU tile
+    (the comparison point of Figure 4)."""
+    return SystemConfig(mesh_width=5, mesh_height=1, **overrides)

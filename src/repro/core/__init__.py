@@ -1,0 +1,21 @@
+"""HDPAT: the paper's core contribution.
+
+Concentric-layer placement (§IV-C), quadrant clustering with rotation
+(§IV-D/E), the remote-translation policies (including the route-based and
+distributed-caching design points used in the ablation), proactive
+page-entry delivery (§IV-G), and the hardware-overhead model (§V-F).
+"""
+
+from repro.core.clustering import ClusterMap
+from repro.core.layers import ConcentricLayout
+from repro.core.policy import TranslationPolicy, build_policy
+from repro.core.request import ServedBy, TranslationRequest
+
+__all__ = [
+    "ClusterMap",
+    "ConcentricLayout",
+    "ServedBy",
+    "TranslationPolicy",
+    "TranslationRequest",
+    "build_policy",
+]

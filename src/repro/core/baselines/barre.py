@@ -1,0 +1,18 @@
+"""Barre Chord (ISCA'24) comparison model.
+
+Barre finds address-translation reuse opportunities inside the IOMMU's
+PW-queue: when a walk finishes, identical pending requests are answered
+without additional walks.  That is exactly the PW-queue revisit mechanism
+HDPAT also incorporates (§IV-F), so Barre is the baseline policy with
+``pw_queue_revisit`` enabled and nothing else — its benefit is bounded by
+the PW-queue size, as the paper notes (§V-B).
+"""
+
+from __future__ import annotations
+
+from repro.config.hdpat import HDPATConfig
+
+
+def barre_hdpat_config() -> HDPATConfig:
+    """The HDPAT-config encoding of Barre: revisit only."""
+    return HDPATConfig(pw_queue_revisit=True)

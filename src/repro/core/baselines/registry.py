@@ -1,0 +1,35 @@
+"""Factory mapping SOTA baseline names to runnable system configurations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config.hdpat import HDPATConfig
+from repro.config.system import SystemConfig
+from repro.core.baselines.barre import barre_hdpat_config
+from repro.core.baselines.transfw import TransFWPolicy
+from repro.core.baselines.valkyrie import ValkyriePolicy
+from repro.core.policy import TranslationPolicy
+from repro.errors import ConfigurationError
+
+SOTA_NAMES = ("transfw", "valkyrie", "barre")
+
+
+def sota_system_config(name: str, base: SystemConfig) -> SystemConfig:
+    """The system configuration a SOTA baseline runs under."""
+    if name == "barre":
+        return base.with_hdpat(barre_hdpat_config())
+    if name in ("transfw", "valkyrie"):
+        return base.with_hdpat(HDPATConfig())
+    raise ConfigurationError(f"unknown SOTA baseline {name!r}")
+
+
+def sota_policy(name: str, hdpat: HDPATConfig) -> Optional[TranslationPolicy]:
+    """The policy override for a SOTA baseline (None -> config default)."""
+    if name == "transfw":
+        return TransFWPolicy(hdpat)
+    if name == "valkyrie":
+        return ValkyriePolicy(hdpat)
+    if name == "barre":
+        return None
+    raise ConfigurationError(f"unknown SOTA baseline {name!r}")

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a system configuration is inconsistent or unsupported."""
+
+
+class AddressError(ReproError):
+    """Raised for malformed virtual/physical addresses or unmapped pages."""
+
+
+class CapacityError(ReproError):
+    """Raised when a finite structure (filter, buffer) cannot accept an item."""
+
+
+class WorkloadError(ReproError):
+    """Raised for unknown workloads or invalid trace parameters."""

@@ -1,0 +1,75 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    hdpat-experiments fig14                 # full suite at default scale
+    hdpat-experiments fig15 --scale 0.25    # tighter numbers, slower
+    hdpat-experiments fig03 --benchmarks spmv
+    hdpat-experiments all                   # everything (long)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.common import DEFAULT_SCALE, RunCache
+from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="hdpat-experiments",
+        description="Regenerate HDPAT paper tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id, one of {EXPERIMENT_IDS} or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help="workload scale factor in (0, 1] (default %(default)s)",
+    )
+    parser.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark subset (default: experiment's own)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also append the regenerated tables to this file",
+    )
+    args = parser.parse_args(argv)
+
+    ids = EXPERIMENT_IDS if args.experiment.lower() == "all" else [args.experiment]
+    benchmarks = (
+        [b.strip() for b in args.benchmarks.split(",")] if args.benchmarks else None
+    )
+    cache = RunCache()
+    sink = open(args.output, "a") if args.output else None
+    try:
+        for experiment_id in ids:
+            runner = get_experiment(experiment_id)
+            started = time.time()
+            result = runner(
+                scale=args.scale, benchmarks=benchmarks, seed=args.seed,
+                cache=cache,
+            )
+            result.show()
+            print(f"[{experiment_id} completed in {time.time() - started:.1f}s]\n")
+            if sink is not None:
+                sink.write(result.format_table() + "\n\n")
+    finally:
+        if sink is not None:
+            sink.close()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

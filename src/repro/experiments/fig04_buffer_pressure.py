@@ -1,0 +1,61 @@
+"""Figure 4 — IOMMU buffer pressure: MCM-GPU (4 GPM) vs wafer-scale (48 GPM).
+
+Samples the number of requests waiting for an IOMMU walker over time while
+running SPMV on both systems.  The paper observes an all-time-high standing
+backlog (~700 requests) on the wafer and near-zero pressure on the MCM,
+demonstrating that the IOMMU only becomes the bottleneck at wafer scale.
+"""
+
+from __future__ import annotations
+
+from repro.config.presets import mcm_4gpm_config, wafer_7x7_config
+from repro.experiments.common import DEFAULT_SCALE, ExperimentResult, RunCache
+
+SAMPLE_PERIOD = 2_000
+
+
+def run(
+    scale: float = DEFAULT_SCALE,
+    benchmarks=None,
+    seed: int = 42,
+    cache: RunCache = None,
+) -> ExperimentResult:
+    cache = cache or RunCache()
+    workload = (benchmarks[0] if isinstance(benchmarks, (list, tuple)) and benchmarks
+                else "spmv")
+    mcm = cache.get(
+        mcm_4gpm_config(), workload, scale, seed,
+        sample_buffer_every=SAMPLE_PERIOD, policy_key="mcm",
+    )
+    wafer = cache.get(
+        wafer_7x7_config(), workload, scale, seed,
+        sample_buffer_every=SAMPLE_PERIOD, policy_key="wafer",
+    )
+    rows = [
+        [
+            "MCM-GPU (4 GPM)",
+            mcm.buffer_series.max(),
+            mcm.buffer_series.mean(),
+            mcm.exec_cycles,
+        ],
+        [
+            "Wafer-scale (48 GPM)",
+            wafer.buffer_series.max(),
+            wafer.buffer_series.mean(),
+            wafer.exec_cycles,
+        ],
+    ]
+    return ExperimentResult(
+        experiment_id="fig04",
+        title=f"IOMMU buffer pressure over time, {workload.upper()} (Figure 4)",
+        headers=["System", "Peak occupancy", "Mean occupancy", "Exec cycles"],
+        rows=rows,
+        notes=(
+            "Paper: persistent ~700-request backlog on the 48-GPM wafer, "
+            "negligible on the 4-GPM MCM."
+        ),
+        series={
+            "mcm": mcm.buffer_series.points(),
+            "wafer": wafer.buffer_series.points(),
+        },
+    )

@@ -1,0 +1,75 @@
+"""Registry mapping experiment ids to their run functions."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ext_layers,
+    ext_migration,
+    ext_rotation,
+    ext_shootdown,
+    ext_threshold,
+    fig02_headroom,
+    fig03_latency_breakdown,
+    fig04_buffer_pressure,
+    fig05_position_imbalance,
+    fig06_translation_counts,
+    fig07_reuse_distance,
+    fig08_spatial_locality,
+    fig13_size_invariance,
+    fig14_overall,
+    fig15_ablation,
+    fig16_breakdown,
+    fig17_response_time,
+    fig18_prefetch_granularity,
+    fig19_redirection_vs_tlb,
+    fig20_page_size,
+    fig21_gpu_configs,
+    fig22_wafer_7x12,
+    tab01_config,
+    tab02_workloads,
+    tab_overhead,
+)
+
+_EXPERIMENTS: Dict[str, Callable] = {
+    "tab01": tab01_config.run,
+    "tab02": tab02_workloads.run,
+    "fig02": fig02_headroom.run,
+    "fig03": fig03_latency_breakdown.run,
+    "fig04": fig04_buffer_pressure.run,
+    "fig05": fig05_position_imbalance.run,
+    "fig06": fig06_translation_counts.run,
+    "fig07": fig07_reuse_distance.run,
+    "fig08": fig08_spatial_locality.run,
+    "fig13": fig13_size_invariance.run,
+    "fig14": fig14_overall.run,
+    "fig15": fig15_ablation.run,
+    "fig16": fig16_breakdown.run,
+    "fig17": fig17_response_time.run,
+    "fig18": fig18_prefetch_granularity.run,
+    "fig19": fig19_redirection_vs_tlb.run,
+    "fig20": fig20_page_size.run,
+    "fig21": fig21_gpu_configs.run,
+    "fig22": fig22_wafer_7x12.run,
+    "overhead": tab_overhead.run,
+    # Design-knob ablations and extensions beyond the paper's figures.
+    "ext_rotation": ext_rotation.run,
+    "ext_layers": ext_layers.run,
+    "ext_threshold": ext_threshold.run,
+    "ext_shootdown": ext_shootdown.run,
+    "ext_migration": ext_migration.run,
+}
+
+EXPERIMENT_IDS: List[str] = list(_EXPERIMENTS)
+
+
+def get_experiment(experiment_id: str) -> Callable:
+    try:
+        return _EXPERIMENTS[experiment_id.lower()]
+    except KeyError:
+        raise ReproError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {EXPERIMENT_IDS}"
+        ) from None

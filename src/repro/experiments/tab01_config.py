@@ -1,0 +1,62 @@
+"""Table I — Configuration of wafer-scale GPUs."""
+
+from __future__ import annotations
+
+from repro.config.presets import wafer_7x7_config
+from repro.experiments.common import ExperimentResult
+from repro.units import GB, MB
+
+
+def run(**_ignored) -> ExperimentResult:
+    config = wafer_7x7_config()
+    gpm = config.gpm
+    iommu = config.iommu
+    rows = [
+        ["CU", f"1.0 GHz, {gpm.num_cus} per GPM"],
+        ["L1 Vector TLB", _tlb(gpm.l1_vector_tlb)],
+        ["L1 Scalar TLB", _tlb(gpm.l1_scalar_tlb)],
+        ["L1 Inst. TLB", _tlb(gpm.l1_inst_tlb)],
+        ["L2 TLB", _tlb(gpm.l2_tlb)],
+        ["GMMU Cache", _tlb(gpm.gmmu_cache)],
+        [
+            "GMMU",
+            f"{gpm.gmmu_walkers} shared page table walkers, "
+            f"{gpm.walk_latency // 5} x 5 levels = {gpm.walk_latency} cycles",
+        ],
+        [
+            "IOMMU",
+            f"{iommu.num_walkers} shared page table walkers, "
+            f"{iommu.walk_latency // 5} x 5 levels = {iommu.walk_latency} cycles",
+        ],
+        ["Redirection Table", f"{iommu.redirection_entries} entries, LRU"],
+        [
+            "L2 Cache",
+            f"{gpm.l2_cache.size_bytes // MB} MB, "
+            f"{gpm.l2_cache.num_ways}-way, {gpm.l2_cache.num_mshrs}-MSHR",
+        ],
+        [
+            "HBM",
+            f"{gpm.hbm_capacity // GB} GB, "
+            f"{gpm.hbm_bandwidth / 1e12:.2f} TB/s",
+        ],
+        [
+            "Mesh Network",
+            f"{config.noc.link_bandwidth / 1e9:.0f} GB/s, "
+            f"{config.noc.link_latency}-cycle latency per link",
+        ],
+        ["Wafer", f"{config.mesh_width}x{config.mesh_height} mesh, "
+                  f"{config.num_gpms} GPMs + centre CPU"],
+    ]
+    return ExperimentResult(
+        experiment_id="tab01",
+        title="Configuration of wafer-scale GPUs (Table I)",
+        headers=["Module", "Configuration"],
+        rows=rows,
+    )
+
+
+def _tlb(tlb) -> str:
+    return (
+        f"{tlb.num_sets}-set, {tlb.num_ways}-way, {tlb.num_mshrs}-MSHR, "
+        f"{tlb.latency}-cycle latency, LRU"
+    )

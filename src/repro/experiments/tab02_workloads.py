@@ -1,0 +1,25 @@
+"""Table II — Benchmarks, workgroup counts, and memory footprints."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.workloads.registry import workload_table
+
+
+def run(**_ignored) -> ExperimentResult:
+    rows = [
+        [
+            row["abbr"],
+            row["benchmark"],
+            f"{row['workgroups']:,}",
+            f"{row['memory_fp_mb']:,} MB",
+            row["pattern"],
+        ]
+        for row in workload_table()
+    ]
+    return ExperimentResult(
+        experiment_id="tab02",
+        title="Benchmarks, workgroup counts, and memory footprint (Table II)",
+        headers=["Abbr.", "Benchmark", "Workgroups", "Memory FP", "Pattern"],
+        rows=rows,
+    )

@@ -1,0 +1,36 @@
+"""§V-F — Area and power overhead of the redirection table."""
+
+from __future__ import annotations
+
+from repro.core.overhead import (
+    HOST_DIE_MM2,
+    HOST_TDP_W,
+    equivalent_tlb_entries,
+    redirection_table_overhead,
+)
+from repro.experiments.common import ExperimentResult
+
+
+def run(**_ignored) -> ExperimentResult:
+    estimate = redirection_table_overhead(1024)
+    rows = [
+        ["Redirection table entries", estimate.entries],
+        ["Bits per entry", estimate.bits_per_entry],
+        ["Area (mm^2)", estimate.area_mm2],
+        ["Power (W)", estimate.power_w],
+        ["Host die (mm^2, Ryzen 9)", HOST_DIE_MM2],
+        ["Host TDP (W)", HOST_TDP_W],
+        ["Area overhead", f"{estimate.area_fraction_of_host:.3%}"],
+        ["Power overhead", f"{estimate.power_fraction_of_host:.3%}"],
+        ["Equal-area TLB entries", equivalent_tlb_entries(1024)],
+    ]
+    return ExperimentResult(
+        experiment_id="tab_overhead",
+        title="Redirection-table hardware overhead at 7 nm (Section V-F)",
+        headers=["Quantity", "Value"],
+        rows=rows,
+        notes=(
+            "Paper (OpenRoad, 7 nm): 0.034 mm^2, 0.16 W -> 0.02% area and "
+            "0.09% power of an AMD Ryzen 9 host."
+        ),
+    )

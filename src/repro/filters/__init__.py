@@ -1,0 +1,13 @@
+"""Probabilistic membership filters.
+
+The GPM translation hierarchy places a cuckoo filter between the L2 TLB and
+the last-level TLB (§II-B): a negative answer lets a request bypass the
+local walk entirely, a false positive forces the full local path before
+forwarding — doubling its latency.  HDPAT reuses the same filters to answer
+peer probes cheaply.
+"""
+
+from repro.filters.cuckoo import CuckooFilter
+from repro.filters.fingerprint import fingerprint_of, mix64
+
+__all__ = ["CuckooFilter", "fingerprint_of", "mix64"]

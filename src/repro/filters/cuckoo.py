@@ -1,0 +1,147 @@
+"""Cuckoo filter (Fan et al., CoNEXT'14).
+
+A space-efficient approximate-membership structure with deletion support:
+items are stored as small fingerprints in one of two candidate buckets
+(partial-key cuckoo hashing), and insertion relocates fingerprints on
+collision like cuckoo hashing does.  Guarantees: no false negatives for
+inserted-and-not-deleted items; false positives bounded by the fingerprint
+width; deletion is exact for inserted items.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.errors import CapacityError
+from repro.filters.fingerprint import fingerprint_of, mix64
+
+_DEFAULT_MAX_KICKS = 500
+
+
+class CuckooFilter:
+    """A cuckoo filter over non-negative integer items (VPNs).
+
+    Parameters
+    ----------
+    capacity:
+        Target number of items; bucket count is the next power of two of
+        ``capacity / slots_per_bucket`` so index arithmetic is a mask.
+    fingerprint_bits:
+        Width of stored fingerprints (false-positive rate roughly
+        ``2 * slots_per_bucket / 2**fingerprint_bits``).
+    slots_per_bucket:
+        Bucket associativity (4 is the standard design point).
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        fingerprint_bits: int = 12,
+        slots_per_bucket: int = 4,
+        max_kicks: int = _DEFAULT_MAX_KICKS,
+        seed: int = 7,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if slots_per_bucket <= 0:
+            raise ValueError(f"slots_per_bucket must be positive, got {slots_per_bucket}")
+        buckets_needed = max(1, -(-capacity // slots_per_bucket))
+        self.num_buckets = 1 << (buckets_needed - 1).bit_length()
+        self.fingerprint_bits = fingerprint_bits
+        self.slots_per_bucket = slots_per_bucket
+        self.max_kicks = max_kicks
+        self._buckets: List[List[int]] = [[] for _ in range(self.num_buckets)]
+        self._rng = random.Random(seed)
+        self.size = 0
+        self.lookups = 0
+        self.insert_failures = 0
+
+    # ------------------------------------------------------------------
+    # Hashing
+    # ------------------------------------------------------------------
+    def _index1(self, item: int) -> int:
+        return mix64(item) & (self.num_buckets - 1)
+
+    def _alt_index(self, index: int, fingerprint: int) -> int:
+        return (index ^ mix64(fingerprint)) & (self.num_buckets - 1)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def insert(self, item: int) -> bool:
+        """Insert ``item``; returns False if the filter is too full.
+
+        Duplicate insertions store duplicate fingerprints (the filter
+        supports multiplicity up to ``2 * slots_per_bucket``); callers in
+        this package guard with ``contains`` to keep one copy per item.
+        """
+        fingerprint = fingerprint_of(item, self.fingerprint_bits)
+        index1 = self._index1(item)
+        index2 = self._alt_index(index1, fingerprint)
+        for index in (index1, index2):
+            if len(self._buckets[index]) < self.slots_per_bucket:
+                self._buckets[index].append(fingerprint)
+                self.size += 1
+                return True
+        # Kick-out relocation.
+        index = self._rng.choice((index1, index2))
+        for _ in range(self.max_kicks):
+            bucket = self._buckets[index]
+            victim_slot = self._rng.randrange(len(bucket))
+            fingerprint, bucket[victim_slot] = bucket[victim_slot], fingerprint
+            index = self._alt_index(index, fingerprint)
+            if len(self._buckets[index]) < self.slots_per_bucket:
+                self._buckets[index].append(fingerprint)
+                self.size += 1
+                return True
+        self.insert_failures += 1
+        return False
+
+    def contains(self, item: int) -> bool:
+        """Approximate membership: no false negatives, rare false positives."""
+        self.lookups += 1
+        fingerprint = fingerprint_of(item, self.fingerprint_bits)
+        index1 = self._index1(item)
+        if fingerprint in self._buckets[index1]:
+            return True
+        index2 = self._alt_index(index1, fingerprint)
+        return fingerprint in self._buckets[index2]
+
+    def delete(self, item: int) -> bool:
+        """Remove one copy of ``item``; returns False if absent."""
+        fingerprint = fingerprint_of(item, self.fingerprint_bits)
+        index1 = self._index1(item)
+        index2 = self._alt_index(index1, fingerprint)
+        for index in (index1, index2):
+            bucket = self._buckets[index]
+            if fingerprint in bucket:
+                bucket.remove(fingerprint)
+                self.size -= 1
+                return True
+        return False
+
+    def insert_or_raise(self, item: int) -> None:
+        if not self.insert(item):
+            raise CapacityError(
+                f"cuckoo filter full (size={self.size}, "
+                f"buckets={self.num_buckets}x{self.slots_per_bucket})"
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def load_factor(self) -> float:
+        return self.size / (self.num_buckets * self.slots_per_bucket)
+
+    def expected_false_positive_rate(self) -> float:
+        """The analytic bound ~ 2b / 2^f at full occupancy, scaled by load."""
+        bound = 2 * self.slots_per_bucket / (1 << self.fingerprint_bits)
+        return bound * max(self.load_factor, 1e-9)
+
+    def __contains__(self, item: int) -> bool:
+        return self.contains(item)
+
+    def __len__(self) -> int:
+        return self.size

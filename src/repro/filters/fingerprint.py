@@ -1,0 +1,29 @@
+"""Deterministic 64-bit hashing and fingerprint extraction.
+
+Python's builtin ``hash`` is salted per process, which would make runs
+non-reproducible; we use a splitmix64-style finalizer instead.
+"""
+
+from __future__ import annotations
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int, seed: int = 0x9E3779B97F4A7C15) -> int:
+    """SplitMix64 finalizer — a fast, well-distributed 64-bit mix."""
+    z = (value + seed) & _MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+def fingerprint_of(item: int, bits: int) -> int:
+    """A non-zero ``bits``-wide fingerprint of ``item``.
+
+    Zero is reserved as the empty-slot marker, so fingerprints that hash to
+    zero are remapped to one (a standard cuckoo-filter convention).
+    """
+    if bits <= 0 or bits > 32:
+        raise ValueError(f"fingerprint bits must be in [1,32], got {bits}")
+    fingerprint = mix64(item, seed=0xC2B2AE3D27D4EB4F) & ((1 << bits) - 1)
+    return fingerprint or 1

@@ -1,0 +1,7 @@
+"""GPU Processing Module: CUs, caches, GMMU, and the GPM assembly."""
+
+from repro.gpm.cache import DataCache
+from repro.gpm.cu import TraceDriver
+from repro.gpm.gpm import GPM, PendingTranslation
+
+__all__ = ["DataCache", "GPM", "PendingTranslation", "TraceDriver"]

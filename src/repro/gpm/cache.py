@@ -1,0 +1,59 @@
+"""Per-GPM L2 data cache.
+
+A set-associative, line-granularity cache keyed on *physical* line identity
+(owner GPM, frame, line-in-page), so locally cached copies of remote lines
+are modelled — the zero-copy architecture accesses remote memory at
+cacheline granularity and caches it like any other line.  Writes are
+treated as fills (no coherence: the paper excludes migration and shootdown,
+and the workloads partition writes by thread).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.config.gpm import CacheConfig
+
+
+class DataCache:
+    """Set-associative LRU data cache over physical line identifiers."""
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        self.num_sets = config.num_sets
+        self.num_ways = config.num_ways
+        self._sets = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def line_key(owner_gpm: int, pfn: int, offset: int, line_bytes: int = 64) -> int:
+        """A globally unique physical line identifier."""
+        return (owner_gpm << 60) | (pfn << 16) | (offset // line_bytes)
+
+    def access(self, key: int) -> bool:
+        """Look up a line, filling it on miss; returns True on hit."""
+        line_set = self._sets[key % self.num_sets]
+        if key in line_set:
+            del line_set[key]
+            line_set[key] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(line_set) >= self.num_ways:
+            del line_set[next(iter(line_set))]
+        line_set[key] = True
+        return False
+
+    def probe(self, key: int) -> bool:
+        """Check residency without filling or LRU update."""
+        return key in self._sets[key % self.num_sets]
+
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

@@ -1,0 +1,352 @@
+"""The GPU Processing Module.
+
+One GPM bundles the trace-driven issue engine, the translation hierarchy
+(L1/L2 TLBs, cuckoo filter, last-level TLB), the GMMU walker pool, an L2
+data cache, and an HBM stack.  It resolves translations locally when it
+can, merges concurrent misses to the same page (L2 TLB MSHR semantics),
+hands unresolvable requests to the active remote-translation policy, and
+performs the data access once a translation is in hand.
+
+It also plays the *auxiliary* role HDPAT assigns it: answering peer probes
+from the cuckoo filter and last-level TLB, walking its local page table for
+pages it owns, and accepting proactive PTE pushes from the IOMMU.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.config.gpm import GPMConfig
+from repro.core.request import ServedBy
+from repro.gpm.cache import DataCache
+from repro.gpm.cu import TraceDriver
+from repro.mem.address import AddressSpace
+from repro.mem.hbm import HBMModel
+from repro.mem.page import PageTableEntry
+from repro.noc.messages import Message, MessageKind
+from repro.sim.component import Component
+from repro.sim.engine import Simulator
+from repro.sim.queueing import WalkerPool
+from repro.tlb.hierarchy import ProbeOutcome, TranslationHierarchy
+
+Coordinate = Tuple[int, int]
+
+
+class PendingTranslation:
+    """One outstanding translation miss, with merged waiters (MSHR entry)."""
+
+    __slots__ = ("vpn", "waiters", "created_at", "remote_start", "walking")
+
+    def __init__(self, vpn: int, created_at: int) -> None:
+        self.vpn = vpn
+        self.waiters: List[int] = []
+        self.created_at = created_at
+        self.remote_start: Optional[int] = None
+        self.walking = False
+
+
+class GPM(Component):
+    """One GPU Processing Module on the wafer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        gpm_id: int,
+        coordinate: Coordinate,
+        config: GPMConfig,
+        address_space: AddressSpace,
+        network,
+    ) -> None:
+        super().__init__(sim, f"gpm{gpm_id}")
+        self.gpm_id = gpm_id
+        self.coordinate = coordinate
+        self.config = config
+        self.address_space = address_space
+        self.network = network
+        self.hierarchy = TranslationHierarchy(gpm_id, config)
+        self.gmmu = WalkerPool(
+            sim, f"gpm{gpm_id}.gmmu", config.gmmu_walkers, config.walk_latency
+        )
+        self.l2_data = DataCache(f"gpm{gpm_id}.l2", config.l2_cache)
+        self.hbm = HBMModel(
+            config.hbm_capacity, config.hbm_bandwidth, config.hbm_latency
+        )
+        self.driver = TraceDriver(
+            sim,
+            issue_fn=self._begin_access,
+            max_outstanding=config.max_outstanding,
+            burst=config.issue_width,
+        )
+        self.driver.on_drain = self._on_drain
+        # Late-bound by the wafer builder:
+        self.policy = None
+        self.iommu_coord: Optional[Coordinate] = None
+        self.on_finished: Optional[Callable[["GPM"], None]] = None
+        # Remote probes share the cuckoo-filter/LLT ports with local
+        # traffic, with local translations having priority (§V-A): remote
+        # probes serialise on a busy-until port clock, so GPMs sitting on
+        # popular routes become probe hotspots.
+        self._probe_port_busy = 0
+        # Outstanding translation misses (bounded by the L2 TLB MSHRs).
+        self._pending: Dict[int, PendingTranslation] = {}
+        self._mshr_capacity = config.l2_tlb.num_mshrs
+        self._stalled: List[int] = []
+        # Results
+        self.finish_time: Optional[int] = None
+        self.served_by_counts: Dict[ServedBy, int] = {}
+        self.rtt_sum = 0
+        self.rtt_count = 0
+
+    # ------------------------------------------------------------------
+    # Setup / run
+    # ------------------------------------------------------------------
+    def load_trace(self, trace: List[int], burst: int = None, interval: int = None) -> None:
+        if burst is not None:
+            self.driver.burst = burst
+        if interval is not None:
+            self.driver.interval = interval
+        self.driver.load(trace)
+
+    def start(self) -> None:
+        self.driver.start()
+
+    def _on_drain(self) -> None:
+        self.finish_time = self.sim.now
+        if self.on_finished is not None:
+            self.on_finished(self)
+
+    # ------------------------------------------------------------------
+    # Access pipeline: translate, then touch data
+    # ------------------------------------------------------------------
+    def _begin_access(self, vaddr: int) -> None:
+        vpn = self.address_space.vpn_of(vaddr)
+        result = self.hierarchy.probe_local(vpn)
+        if result.entry is not None:
+            self._count(_LOCAL_OUTCOME[result.outcome])
+            self.sim.schedule(
+                result.latency,
+                lambda: self._data_phase(vaddr, result.entry),
+            )
+        else:
+            needs_walk = result.outcome is ProbeOutcome.NEEDS_WALK
+            self.sim.schedule(
+                result.latency,
+                lambda: self._translation_miss(vaddr, vpn, needs_walk),
+            )
+
+    def _translation_miss(self, vaddr: int, vpn: int, needs_walk: bool) -> None:
+        pending = self._pending.get(vpn)
+        if pending is not None:
+            pending.waiters.append(vaddr)
+            self.bump("merged_misses")
+            return
+        if len(self._pending) >= self._mshr_capacity:
+            self._stalled.append(vaddr)
+            self.bump("mshr_stalls")
+            return
+        pending = PendingTranslation(vpn, self.sim.now)
+        pending.waiters.append(vaddr)
+        self._pending[vpn] = pending
+        if needs_walk:
+            pending.walking = True
+            self.gmmu.submit(vpn, self._local_walk_done)
+        else:
+            self._go_remote(pending)
+
+    def _local_walk_done(self, vpn: int, _record) -> None:
+        pending = self._pending.get(vpn)
+        if pending is None:
+            return  # resolved meanwhile (e.g. a PTE push arrived)
+        pending.walking = False
+        entry = self.hierarchy.complete_local_walk(vpn)
+        if entry is not None:
+            self._translation_done(vpn, entry, ServedBy.LOCAL_WALK)
+        else:
+            # Cuckoo-filter false positive: the full local path was paid
+            # before discovering the page is remote (§II-B outcome 3).
+            self.bump("filter_false_positive_walks")
+            self._go_remote(pending)
+
+    def _go_remote(self, pending: PendingTranslation) -> None:
+        pending.remote_start = self.sim.now
+        self.bump("remote_translations")
+        self.policy.start_remote(self, pending)
+
+    def _translation_done(
+        self, vpn: int, entry: PageTableEntry, served_by: ServedBy
+    ) -> None:
+        pending = self._pending.pop(vpn, None)
+        if pending is None:
+            return  # late duplicate (second probe response, stale redirect)
+        self._count(served_by)
+        if pending.remote_start is not None:
+            self.rtt_sum += self.sim.now - pending.remote_start
+            self.rtt_count += 1
+        self.hierarchy.fill_from_translation(vpn, entry)
+        for vaddr in pending.waiters:
+            self._data_phase(vaddr, entry)
+        self._drain_stalled()
+
+    def _drain_stalled(self) -> None:
+        while self._stalled and len(self._pending) < self._mshr_capacity:
+            vaddr = self._stalled.pop()
+            self._begin_access(vaddr)
+
+    # ------------------------------------------------------------------
+    # Remote-translation completion entry points
+    # ------------------------------------------------------------------
+    def remote_translation_complete(
+        self, vpn: int, entry: PageTableEntry, served_by: ServedBy
+    ) -> None:
+        """Called when a translation response reaches this GPM."""
+        self._translation_done(vpn, entry, served_by)
+
+    def accept_pte_push(self, entry: PageTableEntry) -> None:
+        """Install a pushed PTE (auxiliary caching / proactive delivery).
+
+        If a request for this page is currently waiting on the remote path,
+        the push satisfies it immediately — the "catch up to recently
+        completed translations" effect redirection is built around.
+        """
+        self.hierarchy.install_cached_remote(entry)
+        self.bump("pte_pushes_received")
+        pending = self._pending.get(entry.vpn)
+        if pending is not None and pending.remote_start is not None:
+            served = ServedBy.PROACTIVE if entry.prefetched else ServedBy.PEER
+            self._translation_done(entry.vpn, entry, served)
+
+    # ------------------------------------------------------------------
+    # Auxiliary role: answer peer probes
+    # ------------------------------------------------------------------
+    def serve_peer_probe(
+        self, vpn: int, on_done: Callable[[Optional[PageTableEntry]], None]
+    ) -> None:
+        """Probe filter + last-level TLB for a peer; walk if we own the page.
+
+        ``on_done`` fires after the probe latency with the entry or None.
+        """
+        self.bump("peer_probes_served")
+        port_wait = max(0, self._probe_port_busy - self.sim.now)
+        self._probe_port_busy = self.sim.now + port_wait + PROBE_PORT_OCCUPANCY
+        if port_wait:
+            self.bump("probe_port_wait_cycles", port_wait)
+        result = self.hierarchy.probe_remote(vpn)
+        latency = port_wait + result.latency
+        if result.entry is not None:
+            self.bump("peer_probe_hits")
+            self.sim.schedule(latency, lambda: on_done(result.entry))
+            return
+        if (
+            result.outcome is ProbeOutcome.NEEDS_WALK
+            and self.hierarchy.page_table.contains(vpn)
+        ):
+            # We are the page's home: resolve it with our own GMMU walkers
+            # (sharing them with local traffic, as §V-A's interference
+            # modelling requires).
+            def _walk_then(vpn_walked, _record) -> None:
+                on_done(self.hierarchy.complete_local_walk(vpn_walked))
+
+            self.sim.schedule(
+                latency, lambda: self.gmmu.submit(vpn, _walk_then)
+            )
+            return
+        self.sim.schedule(latency, lambda: on_done(None))
+
+    # ------------------------------------------------------------------
+    # Data phase
+    # ------------------------------------------------------------------
+    def _data_phase(self, vaddr: int, entry: PageTableEntry) -> None:
+        offset = self.address_space.offset_of(vaddr)
+        key = DataCache.line_key(entry.owner_gpm, entry.pfn, offset)
+        if self.l2_data.access(key):
+            self.sim.schedule(self.config.l2_cache_hit_latency, self._complete_access)
+            return
+        if entry.owner_gpm == self.gpm_id:
+            done_at = self.hbm.access(self.sim.now)
+            self.sim.schedule_at(done_at, self._complete_access)
+            return
+        owner_coord = self.policy.coord_of_gpm(entry.owner_gpm)
+        self.network.send(
+            Message(
+                MessageKind.DATA_REQ,
+                src=self.coordinate,
+                dst=owner_coord,
+                payload=(key, self.coordinate),
+            )
+        )
+        self.bump("remote_data_accesses")
+
+    def handle_data_request(self, message: Message) -> None:
+        """Serve a remote cacheline read from our L2 or HBM."""
+        key, requester_coord = message.payload
+        if self.l2_data.probe(key):
+            latency = self.config.l2_cache_hit_latency
+        else:
+            latency = self.hbm.access(self.sim.now) - self.sim.now
+        self.sim.schedule(
+            latency,
+            lambda: self.network.send(
+                Message(
+                    MessageKind.DATA_RESP,
+                    src=self.coordinate,
+                    dst=requester_coord,
+                    payload=key,
+                )
+            ),
+        )
+
+    def handle_data_response(self, _message: Message) -> None:
+        self._complete_access()
+
+    def _complete_access(self) -> None:
+        self.bump("accesses_completed")
+        self.driver.complete_one()
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle_message(self, message: Message) -> None:
+        kind = message.kind
+        if kind is MessageKind.TRANSLATION_RESP:
+            vpn, entry, served_by, extras = message.payload
+            if extras:
+                for extra_entry in extras:
+                    self.accept_pte_push(extra_entry)
+            self.remote_translation_complete(vpn, entry, served_by)
+        elif kind is MessageKind.PTE_PUSH:
+            for entry in message.payload:
+                self.accept_pte_push(entry)
+        elif kind is MessageKind.PEER_PROBE:
+            self.policy.on_peer_probe(self, message)
+        elif kind is MessageKind.REDIRECT:
+            self.policy.on_redirect(self, message)
+        elif kind is MessageKind.DATA_REQ:
+            self.handle_data_request(message)
+        elif kind is MessageKind.DATA_RESP:
+            self.handle_data_response(message)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"{self.name}: unexpected message kind {kind}")
+
+    # ------------------------------------------------------------------
+    # Stats helpers
+    # ------------------------------------------------------------------
+    def _count(self, served_by: ServedBy) -> None:
+        self.served_by_counts[served_by] = (
+            self.served_by_counts.get(served_by, 0) + 1
+        )
+
+    def mean_rtt(self) -> float:
+        return self.rtt_sum / self.rtt_count if self.rtt_count else 0.0
+
+
+#: Cycles a remote probe occupies the shared filter/LLT port.  The filter
+#: and LLT are pipelined SRAMs, but remote probes yield to local traffic
+#: (§V-A's shared ports with local priority), so each occupies the port
+#: for a few cycles and hot holders become throughput-bound.
+PROBE_PORT_OCCUPANCY = 4
+
+_LOCAL_OUTCOME = {
+    ProbeOutcome.L1_HIT: ServedBy.LOCAL_L1,
+    ProbeOutcome.L2_HIT: ServedBy.LOCAL_L2,
+    ProbeOutcome.LLT_HIT: ServedBy.LOCAL_LLT,
+}

@@ -1,0 +1,7 @@
+"""The central IOMMU at the CPU tile: global page table, walker pool,
+pre-queue buffer, redirection table, and proactive page-entry delivery."""
+
+from repro.iommu.iommu import IOMMU
+from repro.iommu.redirection import RedirectionTable
+
+__all__ = ["IOMMU", "RedirectionTable"]

@@ -1,0 +1,17 @@
+"""Memory substrate: addresses, page tables, allocation, and HBM timing."""
+
+from repro.mem.address import AddressSpace, PAGE_SIZE_4K
+from repro.mem.allocator import PageAllocator
+from repro.mem.hbm import HBMModel
+from repro.mem.page import PageTableEntry
+from repro.mem.page_table import GlobalPageTable, LocalPageTable
+
+__all__ = [
+    "AddressSpace",
+    "GlobalPageTable",
+    "HBMModel",
+    "LocalPageTable",
+    "PAGE_SIZE_4K",
+    "PageAllocator",
+    "PageTableEntry",
+]

@@ -1,0 +1,50 @@
+"""Page table entries.
+
+A :class:`PageTableEntry` carries the translation plus the metadata HDPAT
+leans on: the owning GPM (the home of the physical page under the zero-copy
+model) and an access counter kept "in unused PTE bits" that gates selective
+push to auxiliary caches (§IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PageTableEntry:
+    """One virtual-to-physical mapping."""
+
+    vpn: int
+    pfn: int
+    owner_gpm: int
+    readable: bool = True
+    writable: bool = True
+    access_count: int = 0
+    prefetched: bool = field(default=False, compare=False)
+
+    def touch(self) -> int:
+        """Record one IOMMU translation of this page; returns the new count.
+
+        The count is stored in otherwise-unused PTE bits, so it saturates at
+        a small maximum rather than growing unboundedly.
+        """
+        if self.access_count < _ACCESS_COUNT_MAX:
+            self.access_count += 1
+        return self.access_count
+
+    def copy_for_push(self, prefetched: bool = False) -> "PageTableEntry":
+        """A copy suitable for installing in a peer cache."""
+        return PageTableEntry(
+            vpn=self.vpn,
+            pfn=self.pfn,
+            owner_gpm=self.owner_gpm,
+            readable=self.readable,
+            writable=self.writable,
+            access_count=self.access_count,
+            prefetched=prefetched,
+        )
+
+
+#: Saturation value for the in-PTE access counter (a handful of spare bits).
+_ACCESS_COUNT_MAX = 63

@@ -1,0 +1,79 @@
+"""Message types carried by the mesh.
+
+Sizes follow the granularities the paper reasons about: translation
+requests/responses are small control packets, PTE pushes carry a handful of
+entries, and data accesses move one cacheline (the zero-copy model accesses
+remote memory at cacheline granularity).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+Coordinate = Tuple[int, int]
+
+_message_ids = itertools.count()
+
+
+class MessageKind(enum.Enum):
+    """Categories of mesh traffic, used for traffic accounting."""
+
+    TRANSLATION_REQ = "translation_req"
+    TRANSLATION_RESP = "translation_resp"
+    PEER_PROBE = "peer_probe"
+    PEER_RESP = "peer_resp"
+    PTE_PUSH = "pte_push"
+    REDIRECT = "redirect"
+    DATA_REQ = "data_req"
+    DATA_RESP = "data_resp"
+    PAGE_MIGRATION = "page_migration"
+
+
+#: Default payload sizes in bytes per message kind.
+MESSAGE_BYTES = {
+    MessageKind.TRANSLATION_REQ: 16,
+    MessageKind.TRANSLATION_RESP: 16,
+    MessageKind.PEER_PROBE: 16,
+    MessageKind.PEER_RESP: 16,
+    MessageKind.PTE_PUSH: 32,
+    MessageKind.REDIRECT: 16,
+    MessageKind.DATA_REQ: 16,
+    MessageKind.DATA_RESP: 80,  # 64 B cacheline + header
+    MessageKind.PAGE_MIGRATION: 4096 + 16,  # one page + header
+}
+
+#: Control-plane kinds counted as "translation traffic" for the paper's
+#: extra-traffic measurement (§V-D).
+TRANSLATION_KINDS = frozenset(
+    {
+        MessageKind.TRANSLATION_REQ,
+        MessageKind.TRANSLATION_RESP,
+        MessageKind.PEER_PROBE,
+        MessageKind.PEER_RESP,
+        MessageKind.PTE_PUSH,
+        MessageKind.REDIRECT,
+    }
+)
+
+
+@dataclass
+class Message:
+    """One mesh packet."""
+
+    kind: MessageKind
+    src: Coordinate
+    dst: Coordinate
+    payload: Any = None
+    size_bytes: Optional[int] = None
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.size_bytes is None:
+            self.size_bytes = MESSAGE_BYTES[self.kind]
+
+    @property
+    def is_translation_traffic(self) -> bool:
+        return self.kind in TRANSLATION_KINDS

@@ -1,0 +1,38 @@
+"""Dimension-order (XY) routing on the mesh."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+Coordinate = Tuple[int, int]
+Link = Tuple[Coordinate, Coordinate]
+
+
+def xy_route(src: Coordinate, dst: Coordinate) -> List[Coordinate]:
+    """The XY route from ``src`` to ``dst``, inclusive of both endpoints.
+
+    X is resolved before Y, matching the deterministic dimension-order
+    routers used in interposer meshes.  The route length is therefore
+    exactly the Manhattan distance plus one.
+    """
+    path = [src]
+    x, y = src
+    step_x = 1 if dst[0] > x else -1
+    while x != dst[0]:
+        x += step_x
+        path.append((x, y))
+    step_y = 1 if dst[1] > y else -1
+    while y != dst[1]:
+        y += step_y
+        path.append((x, y))
+    return path
+
+
+def route_links(src: Coordinate, dst: Coordinate) -> List[Link]:
+    """The directed links an XY-routed message traverses."""
+    path = xy_route(src, dst)
+    return list(zip(path, path[1:]))
+
+
+def hop_count(src: Coordinate, dst: Coordinate) -> int:
+    return abs(src[0] - dst[0]) + abs(src[1] - dst[1])

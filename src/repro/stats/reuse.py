@@ -1,0 +1,94 @@
+"""Translation reuse analysis (Observation O3, Figures 6 and 7).
+
+Two analyzers over the stream of VPNs that reach the IOMMU:
+
+* :class:`TranslationCountAnalyzer` — how many times each virtual page is
+  translated (Figure 6's distribution of translation counts).
+* :class:`ReuseDistanceAnalyzer` — the number of intervening requests
+  between repeated translations of the same page (Figure 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.stats.histogram import BucketHistogram, Histogram
+
+#: Paper-style reuse-distance buckets: small distances (coalescible in one
+#: walk) up to hundreds of thousands (beyond any cache).
+REUSE_DISTANCE_BOUNDARIES = [10, 100, 1_000, 10_000, 100_000]
+
+
+class TranslationCountAnalyzer:
+    """Counts IOMMU translations per VPN and summarises the distribution."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self.total_requests = 0
+
+    def record(self, vpn: int) -> None:
+        self._counts[vpn] = self._counts.get(vpn, 0) + 1
+        self.total_requests += 1
+
+    @property
+    def unique_pages(self) -> int:
+        return len(self._counts)
+
+    def histogram(self) -> Histogram:
+        """Histogram keyed on per-page translation count."""
+        histogram = Histogram()
+        for count in self._counts.values():
+            histogram.add(count)
+        return histogram
+
+    def fraction_single_translation(self) -> float:
+        """Fraction of pages translated exactly once (AES/RELU-like)."""
+        if not self._counts:
+            return 0.0
+        singles = sum(1 for count in self._counts.values() if count == 1)
+        return singles / len(self._counts)
+
+    def mean_translations_per_page(self) -> float:
+        if not self._counts:
+            return 0.0
+        return self.total_requests / len(self._counts)
+
+    def count_of(self, vpn: int) -> int:
+        return self._counts.get(vpn, 0)
+
+
+class ReuseDistanceAnalyzer:
+    """Request-count distance between successive translations of a VPN.
+
+    Distance is measured as the number of other requests observed between
+    two requests for the same page ("access counts between repeated address
+    translation requests", Figure 7).
+    """
+
+    def __init__(self, boundaries: List[int] = None) -> None:
+        self._last_seen: Dict[int, int] = {}
+        self._clock = 0
+        self.histogram = BucketHistogram(boundaries or REUSE_DISTANCE_BOUNDARIES)
+        self.max_distance = 0
+        self.min_distance: int = -1
+
+    def record(self, vpn: int) -> None:
+        previous = self._last_seen.get(vpn)
+        if previous is not None:
+            distance = self._clock - previous - 1
+            self.histogram.add(distance)
+            if distance > self.max_distance:
+                self.max_distance = distance
+            if self.min_distance < 0 or distance < self.min_distance:
+                self.min_distance = distance
+        self._last_seen[vpn] = self._clock
+        self._clock += 1
+
+    @property
+    def repeated_requests(self) -> int:
+        return self.histogram.total
+
+    def fraction_short(self, boundary: int = 10) -> float:
+        """Fraction of reuses closer than ``boundary`` requests apart —
+        these are the ones PW-queue coalescing and redirection can catch."""
+        return self.histogram.cumulative_fraction_below(boundary)

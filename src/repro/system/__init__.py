@@ -1,0 +1,7 @@
+"""System assembly: building a wafer from a config and running workloads."""
+
+from repro.system.result import RunResult
+from repro.system.runner import run_benchmark
+from repro.system.wafer import WaferScaleGPU
+
+__all__ = ["RunResult", "WaferScaleGPU", "run_benchmark"]

@@ -1,0 +1,8 @@
+"""``python -m repro.system`` entry point."""
+
+import sys
+
+from repro.system.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,103 @@
+"""Single-run command line: ``python -m repro.system <benchmark> [...]``.
+
+Runs one benchmark on one configuration and prints (or JSON-dumps) the
+result — the quickest way to poke at the system without writing a script:
+
+    python -m repro.system spmv --hdpat --scale 0.1
+    python -m repro.system pr --mesh 7x12 --ablation redirection --json
+    python -m repro.system mt --page-size 65536 --gpu h100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.config.hdpat import HDPATConfig
+from repro.config.presets import gpm_preset, gpm_preset_names
+from repro.config.scaling import capacity_scaled
+from repro.config.system import SystemConfig
+from repro.system.runner import run_benchmark
+from repro.workloads.registry import BENCHMARK_NAMES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.system",
+        description="Run one benchmark on one wafer configuration.",
+    )
+    parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    parser.add_argument(
+        "--mesh", default="7x7", help="mesh as WxH (default %(default)s)"
+    )
+    parser.add_argument(
+        "--gpu", default="mi100", choices=gpm_preset_names(),
+        help="GPM preset (default %(default)s)",
+    )
+    parser.add_argument("--scale", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--page-size", type=int, default=4096)
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--hdpat", action="store_true", help="full HDPAT configuration"
+    )
+    mode.add_argument(
+        "--ablation", default=None,
+        help="named ablation point (route / concentric / distributed / "
+             "cluster_rotation / redirection / prefetch / hdpat)",
+    )
+    parser.add_argument(
+        "--no-capacity-scaling", action="store_true",
+        help="keep Table I capacities despite the reduced workload scale",
+    )
+    parser.add_argument("--json", action="store_true", help="emit JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        width, height = (int(part) for part in args.mesh.lower().split("x"))
+    except ValueError:
+        print(f"error: --mesh must look like 7x7, got {args.mesh!r}",
+              file=sys.stderr)
+        return 2
+    if args.hdpat:
+        hdpat = HDPATConfig.full()
+    elif args.ablation:
+        hdpat = HDPATConfig.ablation(args.ablation)
+    else:
+        hdpat = HDPATConfig.baseline()
+    config = SystemConfig(
+        mesh_width=width,
+        mesh_height=height,
+        gpm=gpm_preset(args.gpu),
+        hdpat=hdpat,
+        page_size=args.page_size,
+        seed=args.seed,
+    )
+    if not args.no_capacity_scaling:
+        config = capacity_scaled(config, args.scale)
+    result = run_benchmark(
+        config, args.benchmark, scale=args.scale, seed=args.seed
+    )
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"{result.workload.upper()} on {result.config_description}")
+    print(f"  execution: {result.exec_cycles:,} cycles ({result.exec_ms:.3f} ms)")
+    print(f"  accesses:  {result.total_accesses:,} "
+          f"(local translations: {result.local_fraction():.1%})")
+    print(f"  IOMMU:     {result.iommu_requests:,} requests, "
+          f"{result.iommu_walks:,} walks, {result.iommu_redirects:,} redirects")
+    breakdown = result.remote_breakdown()
+    print("  remote served by: "
+          + ", ".join(f"{k} {v:.1%}" for k, v in breakdown.items()))
+    print(f"  mean remote RTT: {result.mean_rtt:,.0f} cycles")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,129 @@
+"""Run results: everything the experiment harnesses report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.request import ServedBy
+from repro.stats.timeseries import TimeSeries
+from repro.units import cycles_to_ms
+
+
+@dataclass
+class RunResult:
+    """Measurements from one benchmark execution on one configuration."""
+
+    workload: str
+    config_description: str
+    exec_cycles: int
+    per_gpm_finish: List[int]
+    served_by: Dict[ServedBy, int]
+    total_accesses: int
+    # IOMMU-side
+    iommu_requests: int
+    iommu_walks: int
+    iommu_coalesced: int
+    iommu_redirects: int
+    latency_breakdown: Dict[str, float]
+    latency_percent: Dict[str, float]
+    prefetch_pushed: int
+    # Network-side
+    total_link_bytes: int
+    translation_link_bytes: int
+    mean_hops: float
+    # Requester-side
+    mean_rtt: float
+    remote_translations: int
+    buffer_series: Optional[TimeSeries] = None
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def speedup_over(self, baseline: "RunResult") -> float:
+        """Performance of this run normalised to ``baseline``."""
+        if self.exec_cycles <= 0:
+            raise ValueError("exec_cycles must be positive")
+        return baseline.exec_cycles / self.exec_cycles
+
+    @property
+    def exec_ms(self) -> float:
+        return cycles_to_ms(self.exec_cycles)
+
+    def served(self, category: ServedBy) -> int:
+        return self.served_by.get(category, 0)
+
+    def remote_breakdown(self) -> Dict[str, float]:
+        """Fractions of remote translations by resolver (Figure 16)."""
+        peer = self.served(ServedBy.PEER)
+        proactive = self.served(ServedBy.PROACTIVE)
+        redirect = self.served(ServedBy.REDIRECT)
+        iommu = self.served(ServedBy.IOMMU)
+        total = peer + proactive + redirect + iommu
+        if not total:
+            return {"peer": 0.0, "redirect": 0.0, "proactive": 0.0, "iommu": 1.0}
+        return {
+            "peer": peer / total,
+            "redirect": redirect / total,
+            "proactive": proactive / total,
+            "iommu": iommu / total,
+        }
+
+    def offload_fraction(self) -> float:
+        """Fraction of remote translations NOT served by an IOMMU walk."""
+        breakdown = self.remote_breakdown()
+        return breakdown["peer"] + breakdown["redirect"] + breakdown["proactive"]
+
+    def local_fraction(self) -> float:
+        local = sum(
+            count for served, count in self.served_by.items() if served.is_local
+        )
+        total = sum(self.served_by.values())
+        return local / total if total else 0.0
+
+    def prefetch_accuracy(self) -> float:
+        """Prefetched PTEs that served a demand translation, over pushed."""
+        if not self.prefetch_pushed:
+            return 0.0
+        return min(1.0, self.served(ServedBy.PROACTIVE) / self.prefetch_pushed)
+
+    def gpm_finish_ms(self) -> List[float]:
+        return [cycles_to_ms(cycles) for cycles in self.per_gpm_finish]
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable summary (analyzers and series omitted)."""
+        return {
+            "workload": self.workload,
+            "config": self.config_description,
+            "exec_cycles": self.exec_cycles,
+            "exec_ms": self.exec_ms,
+            "total_accesses": self.total_accesses,
+            "served_by": {
+                served.value: count for served, count in self.served_by.items()
+            },
+            "local_fraction": self.local_fraction(),
+            "remote_translations": self.remote_translations,
+            "remote_breakdown": self.remote_breakdown(),
+            "offload_fraction": self.offload_fraction(),
+            "iommu": {
+                "requests": self.iommu_requests,
+                "walks": self.iommu_walks,
+                "coalesced": self.iommu_coalesced,
+                "redirects": self.iommu_redirects,
+                "latency_breakdown": self.latency_breakdown,
+                "latency_percent": self.latency_percent,
+                "prefetch_pushed": self.prefetch_pushed,
+                "prefetch_accuracy": self.prefetch_accuracy(),
+            },
+            "network": {
+                "total_link_bytes": self.total_link_bytes,
+                "translation_link_bytes": self.translation_link_bytes,
+                "mean_hops": self.mean_hops,
+            },
+            "mean_rtt": self.mean_rtt,
+            "per_gpm_finish": list(self.per_gpm_finish),
+        }

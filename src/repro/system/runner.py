@@ -1,0 +1,120 @@
+"""End-to-end benchmark runner.
+
+``run_benchmark`` is the single entry point every experiment uses: build a
+wafer from a config, synthesise the workload, install its pages, drive the
+traces to completion, and package a :class:`RunResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.config.system import SystemConfig
+from repro.core.policy import TranslationPolicy
+from repro.mem.allocator import PageAllocator
+from repro.stats.timeseries import PeriodicSampler, TimeSeries
+from repro.system.result import RunResult
+from repro.system.wafer import WaferScaleGPU
+from repro.workloads.base import Workload
+from repro.workloads.registry import get_workload
+
+
+def run_benchmark(
+    config: SystemConfig,
+    workload: Union[str, Workload],
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    policy: Optional[TranslationPolicy] = None,
+    sample_buffer_every: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+) -> RunResult:
+    """Run one benchmark on one configuration and return its results.
+
+    ``scale`` shrinks the workload (accesses and footprint together);
+    ``sample_buffer_every`` attaches a periodic IOMMU buffer-pressure
+    sampler (Figure 4); ``policy`` overrides the config-derived policy
+    (used for the SOTA baselines).
+    """
+    if isinstance(workload, str):
+        workload = get_workload(workload)
+    wafer = WaferScaleGPU(config, policy=policy)
+    allocator = PageAllocator(wafer.address_space, wafer.num_gpms)
+    trace = workload.generate(
+        num_gpms=wafer.num_gpms,
+        allocator=allocator,
+        scale=scale,
+        seed=seed if seed is not None else config.seed,
+    )
+    for allocation in allocator.allocations:
+        wafer.install_entries(allocator.materialize(allocation))
+    wafer.load_traces(trace.per_gpm, burst=trace.burst, interval=trace.interval)
+
+    buffer_series = None
+    if sample_buffer_every:
+        buffer_series = TimeSeries(f"{workload.name}.buffer_pressure")
+        PeriodicSampler(
+            wafer.sim,
+            probe=wafer.iommu.buffer_pressure,
+            period=sample_buffer_every,
+            series=buffer_series,
+        )
+
+    wafer.run(max_cycles=max_cycles)
+    return collect_result(wafer, trace, buffer_series)
+
+
+def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult:
+    """Assemble a :class:`RunResult` from a completed wafer run."""
+    served_totals = {}
+    remote_total = 0
+    rtt_sum = 0
+    rtt_count = 0
+    for gpm in wafer.gpms:
+        for served, count in gpm.served_by_counts.items():
+            served_totals[served] = served_totals.get(served, 0) + count
+        remote_total += gpm.stat("remote_translations")
+        rtt_sum += gpm.rtt_sum
+        rtt_count += gpm.rtt_count
+    iommu = wafer.iommu
+    return RunResult(
+        workload=trace.name,
+        config_description=wafer.config.describe(),
+        exec_cycles=wafer.execution_cycles(),
+        per_gpm_finish=[g.finish_time or wafer.sim.now for g in wafer.gpms],
+        served_by=served_totals,
+        total_accesses=trace.total_accesses,
+        iommu_requests=iommu.stat("requests"),
+        iommu_walks=iommu.stat("walks"),
+        iommu_coalesced=iommu.stat("coalesced"),
+        iommu_redirects=iommu.stat("redirects"),
+        latency_breakdown=iommu.breakdown.means(),
+        latency_percent=iommu.breakdown.percentages(),
+        prefetch_pushed=iommu.prefetch_pushed,
+        total_link_bytes=wafer.network.total_link_bytes(),
+        translation_link_bytes=wafer.network.translation_link_bytes(),
+        mean_hops=wafer.network.mean_hops(),
+        mean_rtt=(rtt_sum / rtt_count) if rtt_count else 0.0,
+        remote_translations=remote_total,
+        buffer_series=buffer_series,
+        extras={
+            "all_finished": wafer.all_finished,
+            "traffic_by_kind": wafer.network.traffic_report(),
+            "migration": (
+                {
+                    "migrations": wafer.migration.migration_stats.migrations,
+                    "bytes_moved": wafer.migration.migration_stats.bytes_moved,
+                    "rejected_cooldown": (
+                        wafer.migration.migration_stats.rejected_cooldown
+                    ),
+                }
+                if wafer.migration is not None
+                else {}
+            ),
+            "iommu_analyzers": {
+                "translation_counts": iommu.translation_counts,
+                "reuse_distance": iommu.reuse_distance,
+                "spatial_locality": iommu.spatial_locality,
+                "served_window": iommu.served_window,
+            },
+        },
+    )

@@ -1,0 +1,78 @@
+"""ASCII wafer visualisation.
+
+Renders per-GPM metrics on the mesh layout — the quickest way to *see*
+observation O2 (centre GPMs finish earlier) or where HDPAT's auxiliary
+load lands.  Pure text: no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.noc.topology import MeshTopology
+
+Coordinate = Tuple[int, int]
+
+_SHADES = " .:-=+*#%@"
+
+
+def wafer_heatmap(
+    topology: MeshTopology,
+    values: Sequence[float],
+    title: str = "",
+    cpu_marker: str = "CPU",
+) -> str:
+    """Render one value per GPM (indexed like ``WaferScaleGPU.gpms``) as a
+    shaded grid with the CPU tile marked.
+
+    Values are min-max normalised; heavier shading = larger value.
+    """
+    if len(values) != topology.num_gpms:
+        raise ValueError(
+            f"expected {topology.num_gpms} values, got {len(values)}"
+        )
+    lo = min(values)
+    hi = max(values)
+    span = (hi - lo) or 1.0
+    by_coord: Dict[Coordinate, float] = {
+        tile.coordinate: value
+        for tile, value in zip(topology.gpm_tiles, values)
+    }
+    cell_width = max(5, len(cpu_marker) + 2)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for y in range(topology.height):
+        row = []
+        for x in range(topology.width):
+            if (x, y) == topology.cpu_coordinate:
+                row.append(f"[{cpu_marker}]".center(cell_width))
+                continue
+            value = by_coord[(x, y)]
+            shade = _SHADES[
+                min(len(_SHADES) - 1,
+                    int((value - lo) / span * (len(_SHADES) - 1)))
+            ]
+            row.append(f"{shade * 3}".center(cell_width))
+        lines.append("".join(row))
+    lines.append(f"scale: min={lo:.3g} ('{_SHADES[0]}') .. max={hi:.3g} ('{_SHADES[-1]}')")
+    return "\n".join(lines)
+
+
+def ring_summary(
+    topology: MeshTopology, values: Sequence[float]
+) -> List[Tuple[int, int, float]]:
+    """(ring, gpm_count, mean value) per Chebyshev ring — the numeric
+    companion to the heatmap."""
+    if len(values) != topology.num_gpms:
+        raise ValueError(
+            f"expected {topology.num_gpms} values, got {len(values)}"
+        )
+    by_ring: Dict[int, List[float]] = {}
+    for tile, value in zip(topology.gpm_tiles, values):
+        ring = topology.chebyshev_from_cpu(tile.coordinate)
+        by_ring.setdefault(ring, []).append(value)
+    return [
+        (ring, len(ring_values), sum(ring_values) / len(ring_values))
+        for ring, ring_values in sorted(by_ring.items())
+    ]

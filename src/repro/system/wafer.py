@@ -1,0 +1,150 @@
+"""The assembled wafer-scale GPU.
+
+Builds every component from a :class:`~repro.config.SystemConfig`, wires
+the mesh handlers, binds the translation policy, and exposes the install /
+load / run lifecycle the benchmark runner drives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.config.system import SystemConfig
+from repro.core.layers import ConcentricLayout
+from repro.core.policy import TranslationPolicy, build_policy
+from repro.errors import ConfigurationError
+from repro.gpm.gpm import GPM
+from repro.iommu.iommu import IOMMU
+from repro.mem.address import AddressSpace
+from repro.mem.page import PageTableEntry
+from repro.noc.network import MeshNetwork
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator
+
+Coordinate = Tuple[int, int]
+
+
+class WaferScaleGPU:
+    """A fully wired wafer: simulator, mesh, GPMs, IOMMU, and policy."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: Optional[TranslationPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.topology = MeshTopology(config.mesh_width, config.mesh_height)
+        self.network = MeshNetwork(
+            self.sim,
+            self.topology,
+            link_latency=config.noc.link_latency,
+            link_bandwidth_bytes_per_sec=config.noc.link_bandwidth,
+        )
+        self.address_space = AddressSpace(config.page_size)
+        effective_layers = min(
+            config.hdpat.num_layers, len(self.topology.complete_rings())
+        )
+        self.layout = ConcentricLayout(self.topology, effective_layers)
+        self.policy = policy if policy is not None else build_policy(config.hdpat)
+        iommu_config = config.iommu
+        if self.policy.iommu_walk_latency_override is not None:
+            iommu_config = replace(
+                iommu_config,
+                walk_latency=self.policy.iommu_walk_latency_override,
+            )
+        self.iommu = IOMMU(
+            self.sim,
+            self.topology.cpu_coordinate,
+            iommu_config,
+            config.hdpat,
+            self.network,
+        )
+        self.gpms: List[GPM] = []
+        self._gpm_id_at: Dict[Coordinate, int] = {}
+        for gpm_id, tile in enumerate(self.topology.gpm_tiles):
+            gpm = GPM(
+                self.sim,
+                gpm_id,
+                tile.coordinate,
+                config.gpm,
+                self.address_space,
+                self.network,
+            )
+            gpm.policy = self.policy
+            gpm.iommu_coord = self.topology.cpu_coordinate
+            gpm.on_finished = self._gpm_finished
+            self.gpms.append(gpm)
+            self._gpm_id_at[tile.coordinate] = gpm_id
+            self.network.attach(tile.coordinate, gpm.handle_message)
+        self.network.attach(
+            self.topology.cpu_coordinate, self.iommu.handle_message
+        )
+        self.iommu.policy = self.policy
+        self.policy.bind(self)
+        self.migration = None
+        if config.migration.enabled:
+            from repro.system.migration import MigrationEngine
+
+            self.migration = MigrationEngine(self.sim, self, config.migration)
+            self.iommu.migration = self.migration
+        self._finished = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_gpms(self) -> int:
+        return len(self.gpms)
+
+    def gpm_id_at(self, coordinate: Coordinate) -> int:
+        try:
+            return self._gpm_id_at[coordinate]
+        except KeyError:
+            raise ConfigurationError(f"no GPM at {coordinate}") from None
+
+    # ------------------------------------------------------------------
+    # Memory setup
+    # ------------------------------------------------------------------
+    def install_entries(self, entries: List[PageTableEntry]) -> None:
+        """Register PTEs with the global page table and their home GPMs."""
+        for entry in entries:
+            self.iommu.page_table.insert(entry)
+            self.gpms[entry.owner_gpm].hierarchy.install_local_page(entry)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def load_traces(
+        self,
+        per_gpm_traces: List[List[int]],
+        burst: int = None,
+        interval: int = None,
+    ) -> None:
+        if len(per_gpm_traces) != self.num_gpms:
+            raise ConfigurationError(
+                f"expected {self.num_gpms} trace slices, "
+                f"got {len(per_gpm_traces)}"
+            )
+        for gpm, trace in zip(self.gpms, per_gpm_traces):
+            gpm.load_trace(trace, burst=burst, interval=interval)
+
+    def run(self, max_cycles: Optional[int] = None) -> int:
+        """Start every GPM and run to completion; returns the final cycle."""
+        self.sim.max_cycles = max_cycles
+        for gpm in self.gpms:
+            gpm.start()
+        return self.sim.run()
+
+    def _gpm_finished(self, _gpm: GPM) -> None:
+        self._finished += 1
+
+    @property
+    def all_finished(self) -> bool:
+        return self._finished >= self.num_gpms
+
+    def execution_cycles(self) -> int:
+        """Wall-clock of the slowest GPM (the workload's makespan)."""
+        times = [g.finish_time for g in self.gpms if g.finish_time is not None]
+        return max(times) if times else self.sim.now

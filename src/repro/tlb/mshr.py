@@ -1,0 +1,62 @@
+"""Miss Status Holding Registers.
+
+MSHRs bound the number of outstanding misses a TLB can track.  Secondary
+misses to an already-outstanding VPN merge into the existing register; when
+all registers are occupied by distinct VPNs, new misses must stall — the
+concurrency constraint the paper uses to argue a redirection table beats an
+IOMMU-side TLB (§IV-F, Fig. 19).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+
+class MSHRFile:
+    """A bounded set of outstanding-miss registers keyed by VPN."""
+
+    def __init__(self, name: str, num_entries: int) -> None:
+        if num_entries <= 0:
+            raise ValueError(f"{name}: MSHR count must be positive")
+        self.name = name
+        self.num_entries = num_entries
+        self._outstanding: Dict[int, int] = {}  # vpn -> merged request count
+        self.allocations = 0
+        self.merges = 0
+        self.stalls = 0
+
+    def allocate(self, vpn: int) -> bool:
+        """Track a miss for ``vpn``.
+
+        Returns True if the miss is tracked (new register or merged into an
+        existing one); False if all registers are busy with other VPNs — the
+        caller must stall.
+        """
+        if vpn in self._outstanding:
+            self._outstanding[vpn] += 1
+            self.merges += 1
+            return True
+        if len(self._outstanding) >= self.num_entries:
+            self.stalls += 1
+            return False
+        self._outstanding[vpn] = 1
+        self.allocations += 1
+        return True
+
+    def release(self, vpn: int) -> int:
+        """Complete the miss for ``vpn``; returns merged request count."""
+        return self._outstanding.pop(vpn, 0)
+
+    def waiters(self, vpn: int) -> int:
+        return self._outstanding.get(vpn, 0)
+
+    def outstanding_vpns(self) -> List[int]:
+        return list(self._outstanding)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._outstanding) >= self.num_entries

@@ -1,0 +1,47 @@
+"""Unit helpers: sizes, bandwidth, and cycle arithmetic.
+
+The simulator clock runs at the CU frequency (1.0 GHz per Table I), so one
+cycle is one nanosecond and bandwidths translate directly to bytes/cycle.
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+CACHELINE_BYTES = 64
+
+#: Simulated core clock (Table I: CU 1.0 GHz).
+CLOCK_HZ = 1_000_000_000
+
+
+def bytes_per_cycle(bandwidth_bytes_per_sec: float, clock_hz: int = CLOCK_HZ) -> float:
+    """Convert a bandwidth in bytes/second to bytes/cycle at ``clock_hz``."""
+    return bandwidth_bytes_per_sec / clock_hz
+
+
+def serialization_cycles(message_bytes: int, link_bytes_per_cycle: float) -> int:
+    """Cycles to push ``message_bytes`` through a link, at least one."""
+    if link_bytes_per_cycle <= 0:
+        raise ValueError("link bandwidth must be positive")
+    cycles = -(-message_bytes // int(max(1, link_bytes_per_cycle)))  # ceil div
+    return max(1, cycles)
+
+
+def cycles_to_ms(cycles: int, clock_hz: int = CLOCK_HZ) -> float:
+    """Convert a cycle count to milliseconds of simulated time."""
+    return cycles / clock_hz * 1e3
+
+
+def geomean(values) -> float:
+    """Geometric mean of positive values (used for figure summaries)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError(f"geomean requires positive values, got {value}")
+        product *= value
+    return product ** (1.0 / len(values))

@@ -1,0 +1,31 @@
+"""Synthetic workload generators for the 14 evaluated benchmarks.
+
+The paper drives MGPUSim with real GPU kernels from Hetero-Mark, AMDAPPSDK,
+SHOC, and DNNMark.  Those kernels (and a GPU ISA simulator) are not
+reproducible here, so each benchmark is modelled as a seeded synthetic
+memory-access trace that reproduces the *translation-relevant* behaviour
+the paper characterises for it: footprint and workgroup count (Table II),
+per-page translation counts (Fig. 6), reuse-distance profile (Fig. 7),
+spatial locality (Fig. 8), and the local/remote mix implied by the paper's
+per-benchmark discussion (§V-C).
+"""
+
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.characterize import TraceProfile, characterize
+from repro.workloads.registry import (
+    BENCHMARK_NAMES,
+    get_workload,
+    workload_table,
+)
+from repro.workloads.trace import WorkloadTrace
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BuildContext",
+    "TraceProfile",
+    "Workload",
+    "WorkloadTrace",
+    "characterize",
+    "get_workload",
+    "workload_table",
+]

@@ -1,0 +1,52 @@
+"""AES — Advanced Encryption Standard (Hetero-Mark).
+
+Compute-bound streaming cipher: each workgroup iterates over its block for
+a long time, issuing memory requests at a steady, low rate (§V-A).  Every
+data page is touched once (Fig. 6: one IOMMU translation per page), while
+the small expanded-key table is re-read constantly and lives in the L1/L2
+TLBs after first touch.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import (
+    aligned_stream,
+    cyclic_stream,
+    interleave,
+    shared_hot_stream,
+)
+
+
+class AESWorkload(Workload):
+    name = "aes"
+    description = "Advanced Encryption Standard"
+    workgroups = 4_096
+    footprint_bytes = 8 * MB
+    pattern = "streaming single-touch"
+    base_accesses_per_gpm = 3000
+    burst = 2
+    interval = 4  # iterative compute keeps the request rate low but steady
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        data = ctx.alloc_fraction(0.97)
+        keys = ctx.alloc_bytes(ctx.page_size)
+        streams = []
+        local_accesses = int(ctx.accesses_per_gpm * 0.5)
+        remote_accesses = int(ctx.accesses_per_gpm * 0.35)
+        key_accesses = ctx.accesses_per_gpm - local_accesses - remote_accesses
+        for gpm in range(ctx.num_gpms):
+            # In-place block cipher over the GPM's own partition...
+            own_blocks = aligned_stream(
+                ctx, data, gpm, local_accesses, step=64
+            )
+            # ...plus round-robin workgroup tails spilling across partitions.
+            spill_blocks = cyclic_stream(
+                ctx, data, gpm, remote_accesses, step=64
+            )
+            key_reads = shared_hot_stream(ctx, keys, key_accesses, 2048)
+            streams.append(interleave(own_blocks, spill_blocks, key_reads))
+        return streams

@@ -1,0 +1,43 @@
+"""BT — Bitonic Sort (AMDAPPSDK).
+
+Partner-exchange sort over each GPM's own partition: small-distance stages
+dominate and stay within the partition, so the local GMMU resolves most
+translations (the paper notes BT's "inherent spatial locality enables the
+local GMMU to handle most address translation requests", §V-C).  Large
+stages reach across partitions, producing the repeated remote translations
+of Figure 6 with moderate reuse distances.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import aligned_stream, butterfly_pairs, interleave
+
+
+class BitonicSortWorkload(Workload):
+    name = "bt"
+    description = "Bitonic Sort"
+    workgroups = 16_384
+    footprint_bytes = 16 * MB
+    pattern = "partitioned partner-exchange"
+    base_accesses_per_gpm = 2000
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        data = ctx.alloc_fraction(1.0)
+        streams = []
+        exchange = int(ctx.accesses_per_gpm * 0.2)
+        local_pass = ctx.accesses_per_gpm - exchange
+        for gpm in range(ctx.num_gpms):
+            # In-partition compare/swap passes (local, high reuse).
+            local = aligned_stream(
+                ctx, data, gpm, local_pass, step=128, passes=3
+            )
+            # Cross-partition stages (remote pages re-touched each stage).
+            partners = butterfly_pairs(
+                ctx, data, gpm, exchange, element_bytes=256
+            )
+            streams.append(interleave(local, partners))
+        return streams

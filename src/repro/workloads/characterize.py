@@ -1,0 +1,131 @@
+"""Offline trace characterisation.
+
+Computes, from a generated :class:`WorkloadTrace` alone (no simulation),
+the access-pattern properties the paper's observations rest on — so users
+can check a custom workload's translation behaviour *before* spending
+simulation time, and so tests can pin every built-in benchmark to its
+declared pattern class.
+
+Metrics:
+
+* ``locality_fraction`` — fraction of same-GPM accesses within 4 pages of
+  one of that GPM's 4 most recent accesses (O4's signal, window-based so
+  interleaved input/output streams are not penalised);
+* ``local_ownership_fraction`` — accesses landing on the issuing GPM's own
+  pages (how much the local GMMU can resolve);
+* ``page_touch_gini`` — concentration of accesses over pages;
+* ``shared_page_gini`` / ``shared_access_fraction`` — the same
+  concentration restricted to pages touched by several GPMs: the signal
+  that peer caching and redirection feed on (private hot pages stay in
+  local TLBs and never reach them);
+* ``single_touch_fraction`` — pages visited in exactly one contiguous
+  episode per GPM (streaming);
+* ``mean_touches_per_page`` — raw reuse (O3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.mem.allocator import PageAllocator
+from repro.workloads.trace import WorkloadTrace
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Summary metrics for one workload trace."""
+
+    name: str
+    total_accesses: int
+    unique_pages: int
+    mean_touches_per_page: float
+    local_ownership_fraction: float
+    locality_fraction: float
+    single_touch_fraction: float
+    page_touch_gini: float
+    shared_page_gini: float
+    shared_access_fraction: float
+
+    @property
+    def pattern_class(self) -> str:
+        """A coarse label matching the paper's four pattern classes."""
+        if self.local_ownership_fraction > 0.6:
+            return "partitioned"
+        if self.shared_page_gini > 0.45 and self.shared_access_fraction > 0.2:
+            return "scatter-gather (hub-heavy)"
+        if self.locality_fraction > 0.7:
+            return "streaming (adjacent)"
+        return "random/mixed"
+
+
+def characterize(trace: WorkloadTrace, allocator: PageAllocator) -> TraceProfile:
+    """Profile a trace against the paper's translation-relevant metrics."""
+    space = allocator.address_space
+    touches: Dict[int, int] = {}
+    toucher_count: Dict[int, set] = {}
+    episodes: Dict[int, int] = {}
+    local = 0
+    near = 0
+    pairs = 0
+    total = 0
+    window = 4
+    for gpm, stream in enumerate(trace.per_gpm):
+        recent: List[int] = []
+        seen_last: Dict[int, int] = {}
+        for index, vaddr in enumerate(stream):
+            vpn = space.vpn_of(vaddr)
+            total += 1
+            touches[vpn] = touches.get(vpn, 0) + 1
+            toucher_count.setdefault(vpn, set()).add(gpm)
+            if allocator.owner_of(vpn) == gpm:
+                local += 1
+            if recent:
+                pairs += 1
+                if min(abs(vpn - previous) for previous in recent) <= 4:
+                    near += 1
+            recent.append(vpn)
+            if len(recent) > window:
+                del recent[0]
+            # Episode counting: a revisit after a gap opens a new episode.
+            last_index = seen_last.get(vpn)
+            if last_index is None or index - last_index > 64:
+                episodes[vpn] = episodes.get(vpn, 0) + 1
+            seen_last[vpn] = index
+    unique_pages = len(touches)
+    single_touch = sum(1 for count in episodes.values() if count == 1)
+    shared_counts = [
+        count
+        for vpn, count in touches.items()
+        if len(toucher_count[vpn]) >= 2
+    ]
+    shared_accesses = sum(shared_counts)
+    return TraceProfile(
+        name=trace.name,
+        total_accesses=total,
+        unique_pages=unique_pages,
+        mean_touches_per_page=total / unique_pages if unique_pages else 0.0,
+        local_ownership_fraction=local / total if total else 0.0,
+        locality_fraction=near / pairs if pairs else 0.0,
+        single_touch_fraction=single_touch / unique_pages if unique_pages else 0.0,
+        page_touch_gini=_gini(list(touches.values())),
+        shared_page_gini=_gini(shared_counts),
+        shared_access_fraction=shared_accesses / total if total else 0.0,
+    )
+
+
+def _gini(counts: List[int]) -> float:
+    """Gini coefficient of per-page access counts (0 = uniform, ->1 =
+    all accesses on one page)."""
+    if not counts:
+        return 0.0
+    ordered = sorted(counts)
+    n = len(ordered)
+    cumulative = 0
+    weighted = 0
+    for rank, value in enumerate(ordered, start=1):
+        cumulative += value
+        weighted += rank * value
+    if cumulative == 0:
+        return 0.0
+    return (2 * weighted) / (n * cumulative) - (n + 1) / n

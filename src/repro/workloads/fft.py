@@ -1,0 +1,41 @@
+"""FFT — Fast Fourier Transform (SHOC).
+
+Large-footprint butterfly with structured but dynamic stage strides: both
+spatial locality (within-stage sequential runs) and temporal reuse (pages
+revisited across stages).  The paper groups FFT with FWS/FWT/SPMV as the
+benchmarks whose translations split evenly across peer caching,
+redirection, and proactive delivery (§V-C).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import butterfly_pairs, cyclic_stream, interleave
+
+
+class FFTWorkload(Workload):
+    name = "fft"
+    description = "Fast Fourier Transform"
+    workgroups = 32_768
+    footprint_bytes = 256 * MB
+    pattern = "butterfly, large footprint"
+    base_accesses_per_gpm = 2400
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        signal = ctx.alloc_fraction(0.5)
+        twiddle = ctx.alloc_fraction(0.5)
+        streams = []
+        per_part = ctx.accesses_per_gpm // 2
+        for gpm in range(ctx.num_gpms):
+            stage_runs = cyclic_stream(
+                ctx, signal, gpm, per_part, step=128, passes=2
+            )
+            exchanges = butterfly_pairs(
+                ctx, twiddle, gpm, ctx.accesses_per_gpm - per_part,
+                element_bytes=256, min_stage=6,
+            )
+            streams.append(interleave(stage_runs, exchanges))
+        return streams

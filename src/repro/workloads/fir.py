@@ -1,0 +1,41 @@
+"""FIR — Finite Impulse Response filter (Hetero-Mark).
+
+Sliding-window streaming: round-robin one-page chunks walked sequentially,
+twice (input then output pass), plus a hot tap-coefficient table.  The
+small sequential stride makes FIR one of the biggest winners from
+proactive N+1..N+3 delivery (§V-C: "FIR and KM achieve greater performance
+gains ... due to their iterative access with a small stride"), and its
+IOMMU pressure shape is the size-invariance example of Figure 13.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import cyclic_stream, interleave, shared_hot_stream
+
+
+class FIRWorkload(Workload):
+    name = "fir"
+    description = "Finite Impulse Response Filter"
+    workgroups = 65_536
+    footprint_bytes = 256 * MB
+    pattern = "sequential sliding-window"
+    base_accesses_per_gpm = 2400
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        signal = ctx.alloc_fraction(0.95)
+        taps = ctx.alloc_bytes(ctx.page_size)
+        streams = []
+        signal_accesses = int(ctx.accesses_per_gpm * 0.9)
+        tap_accesses = ctx.accesses_per_gpm - signal_accesses
+        for gpm in range(ctx.num_gpms):
+            window = cyclic_stream(
+                ctx, signal, gpm, signal_accesses, step=512, passes=2,
+                chunk_bytes=8 * ctx.page_size,
+            )
+            tap_reads = shared_hot_stream(ctx, taps, tap_accesses, 1024)
+            streams.append(interleave(window, tap_reads))
+        return streams

@@ -1,0 +1,60 @@
+"""FWS — Floyd-Warshall Shortest Paths (Hetero-Mark).
+
+The k-loop structure gives FWS its signature: in every iteration all GPMs
+re-read pivot row/column k (a small shared region — strong cross-GPM
+temporal locality that peer caching and redirection capture) while
+updating their own distance-matrix blocks (partitioned, mostly local).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import aligned_stream, cyclic_stream, interleave
+
+
+class FloydWarshallWorkload(Workload):
+    name = "fws"
+    description = "Floyd-Warshall Shortest Paths"
+    workgroups = 65_536
+    footprint_bytes = 72 * MB
+    pattern = "pivot-row sharing + partitioned updates"
+    base_accesses_per_gpm = 2200
+    num_pivot_rounds = 8
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        matrix = ctx.alloc_fraction(1.0)
+        streams = []
+        pivot_total = int(ctx.accesses_per_gpm * 0.25)
+        column_total = int(ctx.accesses_per_gpm * 0.2)
+        update_total = ctx.accesses_per_gpm - pivot_total - column_total
+        matrix_bytes = ctx.buffer_bytes(matrix)
+        row_bytes = max(ctx.page_size, matrix_bytes // 256)
+        per_round = max(1, pivot_total // self.num_pivot_rounds)
+        for gpm in range(ctx.num_gpms):
+            pivot_reads: List[int] = []
+            for round_index in range(self.num_pivot_rounds):
+                row_base = (round_index * 37 % 256) * row_bytes
+                # Each GPM reads the shared pivot row starting from its own
+                # column offset (workgroups cover different column blocks),
+                # so concurrent requests spread over the row's pages rather
+                # than piling onto a single VPN in lockstep.
+                offset = (gpm * 997 * 128) % row_bytes
+                for _ in range(per_round):
+                    pivot_reads.append(
+                        ctx.addr(matrix, row_base + offset % row_bytes)
+                    )
+                    offset += 128
+            updates = aligned_stream(
+                ctx, matrix, gpm, update_total, step=128, passes=3
+            )
+            # dist[i][k] column reads: blocks spread across the matrix —
+            # colder remote traffic alongside the hot pivot rows.
+            column_reads = cyclic_stream(
+                ctx, matrix, gpm, column_total, step=256,
+                chunk_bytes=2 * ctx.page_size,
+            )
+            streams.append(interleave(pivot_reads, updates, column_reads))
+        return streams

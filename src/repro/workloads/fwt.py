@@ -1,0 +1,39 @@
+"""FWT — Fast Walsh Transform (AMDAPPSDK).
+
+Butterfly passes over the full 64 MB buffer with round-robin workgroup
+assignment: every stage re-touches the same remote pages (the repeat
+translations of Fig. 6), with reuse distances spanning a full pass —
+too long for small TLBs, the case §III's O3 makes for DRAM-backed caching.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import butterfly_pairs, cyclic_stream, interleave
+
+
+class FastWalshWorkload(Workload):
+    name = "fwt"
+    description = "Fast Walsh Transform"
+    workgroups = 16_384
+    footprint_bytes = 64 * MB
+    pattern = "butterfly, repeated passes"
+    base_accesses_per_gpm = 2200
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        data = ctx.alloc_fraction(1.0)
+        streams = []
+        butterfly_count = int(ctx.accesses_per_gpm * 0.5)
+        stream_count = ctx.accesses_per_gpm - butterfly_count
+        for gpm in range(ctx.num_gpms):
+            passes = cyclic_stream(
+                ctx, data, gpm, stream_count, step=256, passes=3
+            )
+            exchanges = butterfly_pairs(
+                ctx, data, gpm, butterfly_count, element_bytes=512, min_stage=4
+            )
+            streams.append(interleave(passes, exchanges))
+        return streams

@@ -1,0 +1,41 @@
+"""KM — KMeans (Hetero-Mark).
+
+Iterative clustering: every iteration streams the point set (round-robin
+chunks, small stride — prefetch-friendly like FIR) and re-reads the small
+centroid table constantly.  Re-streaming the same pages across iterations
+feeds the redirection table (§V-C groups KM with the redirection/proactive
+beneficiaries).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import cyclic_stream, interleave, shared_hot_stream
+
+
+class KMeansWorkload(Workload):
+    name = "km"
+    description = "KMeans"
+    workgroups = 32_768
+    footprint_bytes = 40 * MB
+    pattern = "iterative streaming + hot centroids"
+    base_accesses_per_gpm = 2200
+    iterations = 3
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        points = ctx.alloc_fraction(0.95)
+        centroids = ctx.alloc_bytes(2 * ctx.page_size)
+        streams = []
+        point_total = int(ctx.accesses_per_gpm * 0.8)
+        centroid_total = ctx.accesses_per_gpm - point_total
+        for gpm in range(ctx.num_gpms):
+            sweep = cyclic_stream(
+                ctx, points, gpm, point_total, step=256,
+                passes=self.iterations, chunk_bytes=8 * ctx.page_size,
+            )
+            lookups = shared_hot_stream(ctx, centroids, centroid_total, 4096)
+            streams.append(interleave(sweep, lookups))
+        return streams

@@ -1,0 +1,59 @@
+"""MT — Matrix Transpose (AMDAPPSDK).
+
+The adversary case: reads are row-major (sequential, local partition) but
+writes land column-major.  In the transposed layout one destination page
+holds short runs from several different GPMs, and each GPM sweeps the
+columns starting from its own offset — so a destination page is revisited
+a handful of times at *large* time offsets (reuse distances of thousands
+of requests, far beyond redirection-table or peer-cache capacity), while
+consecutive writes from any one GPM stride a full column height and touch
+a new page almost every time.  §V-C: "entries are often evicted before
+reuse, making caching less effective" — HDPAT's gain on MT is minimal.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import GB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import aligned_stream, interleave
+
+
+class TransposeWorkload(Workload):
+    name = "mt"
+    description = "Matrix Transpose"
+    workgroups = 524_288
+    footprint_bytes = 2 * GB
+    pattern = "long-stride column writes"
+    base_accesses_per_gpm = 2400
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        src = ctx.alloc_fraction(0.5)
+        dst = ctx.alloc_fraction(0.5)
+        dst_bytes = ctx.buffer_bytes(dst)
+        # Column geometry: each column's slice in dst spans several pages,
+        # partitioned into one run per GPM (~1 KB), so a destination page
+        # carries runs of ~4 different GPMs.
+        column_bytes = max(ctx.page_size, ctx.num_gpms * 1024)
+        num_columns = max(ctx.num_gpms, dst_bytes // column_bytes)
+        run_bytes = max(64, column_bytes // ctx.num_gpms)
+        streams = []
+        read_total = ctx.accesses_per_gpm // 2
+        write_total = ctx.accesses_per_gpm - read_total
+        for gpm in range(ctx.num_gpms):
+            row_reads = aligned_stream(ctx, src, gpm, read_total, step=64)
+            # Each GPM sweeps the columns from its own starting offset:
+            # page reuse across GPMs lands thousands of requests apart.
+            column_writes: List[int] = []
+            start_column = gpm * num_columns // ctx.num_gpms
+            for k in range(write_total):
+                column = (start_column + k) % num_columns
+                offset = (
+                    column * column_bytes
+                    + gpm * run_bytes
+                    + (k * 64) % run_bytes
+                )
+                column_writes.append(ctx.addr(dst, offset))
+            streams.append(interleave(row_reads, column_writes))
+        return streams

@@ -1,0 +1,206 @@
+"""Reusable access-pattern building blocks.
+
+These encode the four pattern classes the paper's suite spans (random,
+partitioned, adjacent, scatter-gather) in terms of how threads map onto the
+evenly partitioned buffers:
+
+* ``aligned_stream`` — thread blocks walk their *own* contiguous partition
+  (partitioned access: mostly local translations);
+* ``cyclic_stream`` — thread blocks are assigned round-robin, so each GPM
+  walks chunks spread across the whole buffer (adjacent-within-chunk but
+  mostly *remote* translations — the load that swamps the IOMMU);
+* ``butterfly_pairs`` — power-of-two partner exchanges (sorting/FFT);
+* ``zipf_gather`` — power-law scatter-gather (graph workloads);
+* ``shared_hot_stream`` — all GPMs re-reading the same small region
+  (lookup tables, centroids, pivot rows).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.mem.allocator import Allocation
+from repro.workloads.base import BuildContext
+
+
+def aligned_stream(
+    ctx: BuildContext,
+    allocation: Allocation,
+    gpm: int,
+    count: int,
+    step: int = 256,
+    passes: int = 1,
+) -> List[int]:
+    """Sequential walk of this GPM's own contiguous partition.
+
+    The partition boundaries mirror the page allocator's ownership split,
+    so every address is locally owned (the "partitioned" pattern class)."""
+    base, part = ctx.partition_bounds(allocation, gpm)
+    addrs: List[int] = []
+    per_pass = max(1, count // max(passes, 1))
+    for _ in range(max(passes, 1)):
+        offset = 0
+        for _ in range(per_pass):
+            addrs.append(ctx.addr(allocation, base + offset % part))
+            offset += step
+    return addrs[:count] + addrs[: max(0, count - len(addrs))]
+
+
+def cyclic_stream(
+    ctx: BuildContext,
+    allocation: Allocation,
+    gpm: int,
+    count: int,
+    step: int = 256,
+    passes: int = 1,
+    chunk_bytes: int = None,
+) -> List[int]:
+    """Round-robin chunk walk across the whole buffer.
+
+    Chunk ``c`` goes to GPM ``c mod num_gpms``; within a chunk, accesses
+    are sequential with ``step`` spacing.  Chunks default to four pages so
+    each GPM walks short sequential page runs — the shape that makes
+    proactive N+1..N+3 delivery effective.
+    """
+    size = ctx.buffer_bytes(allocation)
+    chunk = chunk_bytes or 4 * ctx.page_size
+    num_chunks = max(1, size // chunk)
+    addrs: List[int] = []
+    per_pass = max(1, count // max(passes, 1))
+    for _ in range(max(passes, 1)):
+        chunk_index = gpm
+        emitted = 0
+        offset = 0
+        while emitted < per_pass:
+            base = (chunk_index % num_chunks) * chunk
+            addrs.append(ctx.addr(allocation, base + offset))
+            emitted += 1
+            offset += step
+            if offset >= chunk:
+                offset = 0
+                chunk_index += ctx.num_gpms
+    return addrs[:count]
+
+
+def butterfly_pairs(
+    ctx: BuildContext,
+    allocation: Allocation,
+    gpm: int,
+    count: int,
+    element_bytes: int = 256,
+    min_stage: int = 0,
+) -> List[int]:
+    """Bitonic/FFT-style partner exchanges: access (i, i XOR 2^s).
+
+    Small stages keep partners inside the GPM's own partition (local);
+    large stages reach across the wafer, re-touching the same remote pages
+    across consecutive ``i`` — the repeat-translation signature of BT/FWT.
+    """
+    size = ctx.buffer_bytes(allocation)
+    num_elements = max(2, size // element_bytes)
+    stages = max(1, num_elements.bit_length() - 1)
+    part = num_elements // ctx.num_gpms or 1
+    base_index = gpm * part
+    addrs: List[int] = []
+    pairs_needed = max(1, count // 2)
+    per_stage = max(1, pairs_needed // max(1, stages - min_stage))
+    for stage in range(min_stage, stages):
+        distance = 1 << stage
+        for k in range(per_stage):
+            # Workgroups sample their partition non-contiguously (a prime
+            # modular walk), so consecutive exchanges touch far-apart pages
+            # — bitonic stages have no next-page sequentiality to prefetch.
+            i = (base_index + (k * 7919) % max(1, part)) % num_elements
+            partner = i ^ distance
+            addrs.append(ctx.addr(allocation, i * element_bytes))
+            addrs.append(ctx.addr(allocation, partner * element_bytes))
+            if len(addrs) >= count:
+                return addrs
+    return addrs
+
+
+def zipf_gather(
+    ctx: BuildContext,
+    allocation: Allocation,
+    count: int,
+    alpha: float = 1.1,
+    element_bytes: int = 64,
+) -> List[int]:
+    """Power-law scatter-gather over the buffer (PageRank/SpMV vectors)."""
+    size = ctx.buffer_bytes(allocation)
+    num_elements = max(2, size // element_bytes)
+    addrs: List[int] = []
+    for _ in range(count):
+        rank = _zipf_rank(ctx.rng, num_elements, alpha)
+        # Spread hot ranks across the address range deterministically so
+        # hot pages are not all co-located in one GPM's partition.
+        index = (rank * 2_654_435_761) % num_elements
+        addrs.append(ctx.addr(allocation, index * element_bytes))
+    return addrs
+
+
+def shared_hot_stream(
+    ctx: BuildContext,
+    allocation: Allocation,
+    count: int,
+    region_bytes: int,
+    step: int = 64,
+) -> List[int]:
+    """Repeated walks over one small shared region (all GPMs alike)."""
+    region = max(step, min(region_bytes, ctx.buffer_bytes(allocation)))
+    addrs: List[int] = []
+    offset = 0
+    for _ in range(count):
+        addrs.append(ctx.addr(allocation, offset % region))
+        offset += step
+    return addrs
+
+
+def strided_walk(
+    ctx: BuildContext,
+    allocation: Allocation,
+    gpm: int,
+    count: int,
+    stride: int,
+    passes: int = 1,
+    element_bytes: int = 64,
+) -> List[int]:
+    """Long-stride walk (matrix-transpose columns).
+
+    Consecutive accesses land ``stride`` bytes apart, touching a new page
+    almost every time.  GPM start positions are staggered across the
+    buffer, so streams are disjoint (each output column belongs to one
+    GPM); with ``passes > 1`` the same page set is revisited with a reuse
+    distance of a full pass — beyond any cache or redirection capacity.
+    """
+    size = ctx.buffer_bytes(allocation)
+    addrs: List[int] = []
+    start = gpm * (size // max(1, ctx.num_gpms))
+    per_pass = max(1, count // max(passes, 1))
+    for _ in range(max(passes, 1)):
+        position = start
+        for _ in range(per_pass):
+            addrs.append(ctx.addr(allocation, position % size))
+            position += stride
+    return addrs[:count]
+
+
+def interleave(*streams: List[int]) -> List[int]:
+    """Round-robin merge of several access streams."""
+    merged: List[int] = []
+    longest = max((len(s) for s in streams), default=0)
+    for index in range(longest):
+        for stream in streams:
+            if index < len(stream):
+                merged.append(stream[index])
+    return merged
+
+
+def _zipf_rank(rng: random.Random, n: int, alpha: float) -> int:
+    """Approximate Zipf(alpha) rank in [0, n) via inverse-CDF sampling."""
+    u = rng.random()
+    # For alpha near 1 the CDF is ~ log-uniform; this transform is cheap
+    # and produces the heavy head + long tail we need.
+    rank = int(n ** (u ** alpha)) - 1
+    return min(max(rank, 0), n - 1)

@@ -1,0 +1,78 @@
+"""Benchmark registry (Table II)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.units import MB
+from repro.workloads.aes import AESWorkload
+from repro.workloads.base import Workload
+from repro.workloads.bt import BitonicSortWorkload
+from repro.workloads.fft import FFTWorkload
+from repro.workloads.fir import FIRWorkload
+from repro.workloads.fws import FloydWarshallWorkload
+from repro.workloads.fwt import FastWalshWorkload
+from repro.workloads.i2c import Im2ColWorkload
+from repro.workloads.km import KMeansWorkload
+from repro.workloads.mm import MatMulWorkload
+from repro.workloads.mt import TransposeWorkload
+from repro.workloads.pr import PageRankWorkload
+from repro.workloads.relu import ReLUWorkload
+from repro.workloads.sc import ConvolutionWorkload
+from repro.workloads.spmv import SpMVWorkload
+
+_WORKLOAD_CLASSES = (
+    AESWorkload,
+    BitonicSortWorkload,
+    FastWalshWorkload,
+    FFTWorkload,
+    FIRWorkload,
+    FloydWarshallWorkload,
+    Im2ColWorkload,
+    KMeansWorkload,
+    MatMulWorkload,
+    TransposeWorkload,
+    PageRankWorkload,
+    ReLUWorkload,
+    ConvolutionWorkload,
+    SpMVWorkload,
+)
+
+_REGISTRY: Dict[str, Workload] = {cls.name: cls() for cls in _WORKLOAD_CLASSES}
+
+#: Table II order.
+BENCHMARK_NAMES: List[str] = [
+    "aes", "bt", "fwt", "fft", "fir", "fws", "i2c",
+    "km", "mm", "mt", "pr", "relu", "sc", "spmv",
+]
+
+
+def get_workload(name: str) -> Workload:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+
+
+def all_workloads() -> List[Workload]:
+    return [_REGISTRY[name] for name in BENCHMARK_NAMES]
+
+
+def workload_table() -> List[Dict[str, object]]:
+    """Table II rows: abbreviation, name, workgroups, footprint."""
+    rows = []
+    for name in BENCHMARK_NAMES:
+        workload = _REGISTRY[name]
+        rows.append(
+            {
+                "abbr": workload.name.upper(),
+                "benchmark": workload.description,
+                "workgroups": workload.workgroups,
+                "memory_fp_mb": workload.footprint_bytes // MB,
+                "pattern": workload.pattern,
+            }
+        )
+    return rows

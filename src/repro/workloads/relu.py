@@ -1,0 +1,41 @@
+"""RELU — Rectified Linear Unit (DNNMark).
+
+Pure elementwise streaming over a 1.28 GB tensor: every page is touched in
+one sequential sweep and never again (Fig. 6: single IOMMU translation per
+page).  TLBs filter nothing on first touch, so performance is bounded by
+cold-walk throughput — where proactive sequential delivery shines.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import cyclic_stream, interleave
+
+
+class ReLUWorkload(Workload):
+    name = "relu"
+    description = "Rectified Linear Unit"
+    workgroups = 1_310_720
+    footprint_bytes = 1280 * MB
+    pattern = "streaming single-touch"
+    base_accesses_per_gpm = 2400
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        tensor_in = ctx.alloc_fraction(0.5)
+        tensor_out = ctx.alloc_fraction(0.5)
+        streams = []
+        half = ctx.accesses_per_gpm // 2
+        for gpm in range(ctx.num_gpms):
+            reads = cyclic_stream(
+                ctx, tensor_in, gpm, half, step=512,
+                chunk_bytes=8 * ctx.page_size,
+            )
+            writes = cyclic_stream(
+                ctx, tensor_out, gpm, ctx.accesses_per_gpm - half, step=512,
+                chunk_bytes=8 * ctx.page_size,
+            )
+            streams.append(interleave(reads, writes))
+        return streams

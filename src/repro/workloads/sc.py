@@ -1,0 +1,52 @@
+"""SC — Simple Convolution (AMDAPPSDK).
+
+2D convolution: sliding windows re-read neighbouring input rows (short
+sequential runs at a row stride, strong spatial locality) plus a hot
+filter-kernel table shared by every workgroup.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import cyclic_stream, interleave, shared_hot_stream
+
+
+class ConvolutionWorkload(Workload):
+    name = "sc"
+    description = "Simple Convolution"
+    workgroups = 262_465
+    footprint_bytes = 256 * MB
+    pattern = "sliding window + hot filter"
+    base_accesses_per_gpm = 2200
+    kernel_rows = 3
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        image = ctx.alloc_fraction(0.48)
+        output = ctx.alloc_fraction(0.48)
+        kernel = ctx.alloc_bytes(ctx.page_size)
+        image_bytes = ctx.buffer_bytes(image)
+        row_stride = max(4096, image_bytes // 2048)
+        streams = []
+        window_total = int(ctx.accesses_per_gpm * 0.55)
+        write_total = int(ctx.accesses_per_gpm * 0.35)
+        kernel_total = ctx.accesses_per_gpm - window_total - write_total
+        for gpm in range(ctx.num_gpms):
+            windows: List[int] = []
+            base = gpm * ctx.page_size
+            position = base
+            while len(windows) < window_total:
+                for row in range(self.kernel_rows):
+                    windows.append(ctx.addr(image, position + row * row_stride))
+                    if len(windows) >= window_total:
+                        break
+                position += 64
+                if position - base >= ctx.page_size:
+                    base += ctx.num_gpms * ctx.page_size
+                    position = base
+            writes = cyclic_stream(ctx, output, gpm, write_total, step=64)
+            kernel_reads = shared_hot_stream(ctx, kernel, kernel_total, 512)
+            streams.append(interleave(windows, writes, kernel_reads))
+        return streams

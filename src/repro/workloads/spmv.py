@@ -1,0 +1,40 @@
+"""SPMV — Sparse Matrix-Vector multiplication (SHOC).
+
+CSR SpMV: the matrix (values + column indices) streams once per GPM while
+the dense x-vector is gathered at random column positions — irregular,
+shared, with only moderate reuse.  The mix floods the IOMMU with remote
+translations: SPMV is the paper's bottleneck exhibit (Figures 3 and 4, a
+~700-request standing backlog).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.units import MB
+from repro.workloads.base import BuildContext, Workload
+from repro.workloads.patterns import aligned_stream, interleave, zipf_gather
+
+
+class SpMVWorkload(Workload):
+    name = "spmv"
+    description = "Sparse Matrix-Vector Multiplication"
+    workgroups = 81_920
+    footprint_bytes = 120 * MB
+    pattern = "stream + irregular gather"
+    base_accesses_per_gpm = 2400
+
+    def build(self, ctx: BuildContext) -> List[List[int]]:
+        matrix = ctx.alloc_fraction(0.75)
+        x_vector = ctx.alloc_fraction(0.25)
+        streams = []
+        gather_total = int(ctx.accesses_per_gpm * 0.5)
+        stream_total = ctx.accesses_per_gpm - gather_total
+        for gpm in range(ctx.num_gpms):
+            # CSR rows are partitioned with the matrix: row data is local.
+            row_stream = aligned_stream(ctx, matrix, gpm, stream_total, step=128)
+            # Near-uniform gather: alpha close to 0 spreads accesses widely,
+            # defeating TLBs and peer caches alike.
+            x_gather = zipf_gather(ctx, x_vector, gather_total, alpha=0.35)
+            streams.append(interleave(row_stream, x_gather))
+        return streams

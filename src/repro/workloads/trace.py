@@ -1,0 +1,48 @@
+"""Workload trace container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.errors import WorkloadError
+
+
+@dataclass
+class WorkloadTrace:
+    """Per-GPM virtual-address streams plus issue-shape parameters.
+
+    ``burst`` and ``interval`` encode compute intensity: a GPM issues up to
+    ``burst`` accesses every ``interval`` cycles (subject to its outstanding
+    limit), so compute-bound benchmarks use small bursts / wide intervals.
+    """
+
+    name: str
+    per_gpm: List[List[int]]
+    burst: int = 4
+    interval: int = 1
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.per_gpm:
+            raise WorkloadError(f"{self.name}: trace has no GPM slices")
+        if self.burst <= 0 or self.interval <= 0:
+            raise WorkloadError(f"{self.name}: burst/interval must be positive")
+
+    @property
+    def num_gpms(self) -> int:
+        return len(self.per_gpm)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(len(slice_) for slice_ in self.per_gpm)
+
+    def merged_stream(self) -> List[int]:
+        """All accesses round-robin interleaved (offline analysis helper)."""
+        merged: List[int] = []
+        longest = max(len(s) for s in self.per_gpm)
+        for index in range(longest):
+            for slice_ in self.per_gpm:
+                if index < len(slice_):
+                    merged.append(slice_[index])
+        return merged

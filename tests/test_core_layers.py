@@ -1,0 +1,154 @@
+"""Tests for concentric layers and clustering/rotation (hypothesis-backed)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import NUM_CLUSTERS, ClusterMap
+from repro.core.layers import ConcentricLayout
+from repro.errors import ConfigurationError
+from repro.noc.topology import MeshTopology
+
+
+@pytest.fixture
+def layout_7x7():
+    return ConcentricLayout(MeshTopology(7, 7), num_layers=2)
+
+
+class TestConcentricLayout:
+    def test_default_layers_are_rings_1_and_2(self, layout_7x7):
+        assert layout_7x7.caching_rings == [1, 2]
+        assert layout_7x7.caching_gpm_count() == 24
+
+    def test_too_many_layers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConcentricLayout(MeshTopology(5, 5), num_layers=3)
+
+    def test_zero_layers_allowed(self):
+        layout = ConcentricLayout(MeshTopology(7, 7), num_layers=0)
+        assert layout.caching_rings == []
+        assert layout.caching_gpm_count() == 0
+
+    def test_is_caching_gpm(self, layout_7x7):
+        assert layout_7x7.is_caching_gpm((4, 4))  # ring 1
+        assert layout_7x7.is_caching_gpm((1, 1))  # ring 2
+        assert not layout_7x7.is_caching_gpm((0, 0))  # ring 3 (border)
+
+    def test_nearest_member_is_closest(self, layout_7x7):
+        topology = layout_7x7.topology
+        for tile in topology.gpm_tiles:
+            nearest = layout_7x7.nearest_member(1, tile.coordinate)
+            best = min(
+                topology.manhattan(tile.coordinate, m.coordinate)
+                for m in layout_7x7.members(1)
+            )
+            assert (
+                topology.manhattan(tile.coordinate, nearest.coordinate) == best
+            )
+
+    def test_nearest_member_exclude(self, layout_7x7):
+        member = layout_7x7.members(1)[0]
+        nearest = layout_7x7.nearest_member(
+            1, member.coordinate, exclude=member.coordinate
+        )
+        assert nearest.coordinate != member.coordinate
+
+    def test_probe_rings_for_outer_gpm(self, layout_7x7):
+        assert layout_7x7.probe_rings_for((0, 0)) == [1, 2]
+
+    def test_probe_rings_for_inner_gpm(self, layout_7x7):
+        assert layout_7x7.probe_rings_for((4, 4)) == [1]
+
+    def test_probe_rings_for_middle_gpm(self, layout_7x7):
+        assert layout_7x7.probe_rings_for((1, 3)) == [1, 2]
+
+    def test_ring_of(self, layout_7x7):
+        assert layout_7x7.ring_of((3, 3)) == 0
+        assert layout_7x7.ring_of((6, 6)) == 3
+
+
+class TestClusterMap:
+    def _map(self, ring=2, layer_index=0, rotate=True):
+        topology = MeshTopology(7, 7)
+        return ClusterMap(topology.ring_members(ring), layer_index, rotate)
+
+    def test_single_holder_per_vpn(self):
+        cluster_map = self._map()
+        for vpn in range(1000):
+            holders = [
+                tile
+                for tile in cluster_map.members
+                if cluster_map.holder_of(vpn) is tile
+            ]
+            assert len(holders) == 1
+
+    def test_eq1_cluster_assignment(self):
+        cluster_map = self._map()
+        for vpn in range(100):
+            assert cluster_map.cluster_of(vpn) == vpn % NUM_CLUSTERS
+
+    def test_holders_balanced_across_members(self):
+        cluster_map = self._map()
+        counts = {tile.tile_id: 0 for tile in cluster_map.members}
+        for vpn in range(16 * 100):
+            counts[cluster_map.holder_of(vpn).tile_id] += 1
+        assert max(counts.values()) == min(counts.values()) == 100
+
+    def test_rotation_halves_the_ring(self):
+        unrotated = self._map(layer_index=0)
+        rotated = self._map(layer_index=1)
+        for vpn in range(64):
+            delta = (
+                rotated.position_of(vpn) - unrotated.position_of(vpn)
+            ) % unrotated.num_members
+            assert delta == unrotated.num_members // 2
+
+    def test_rotation_disabled(self):
+        base = self._map(layer_index=0)
+        unrotated_layer1 = self._map(layer_index=1, rotate=False)
+        for vpn in range(64):
+            assert base.position_of(vpn) == unrotated_layer1.position_of(vpn)
+
+    def test_cluster_forms_contiguous_arc(self):
+        cluster_map = self._map(ring=1)
+        positions = sorted(
+            cluster_map.position_of(vpn)
+            for vpn in range(0, 400, 4)  # cluster 0 VPNs
+        )
+        unique = sorted(set(positions))
+        assert unique == list(range(unique[0], unique[0] + len(unique)))
+
+    def test_indivisible_ring_rejected(self):
+        topology = MeshTopology(7, 7)
+        members = topology.ring_members(1)[:7]  # 7 not divisible by 4
+        with pytest.raises(ValueError):
+            ClusterMap(members, 0)
+
+    def test_vpns_held_by(self):
+        cluster_map = self._map(ring=1)
+        tile = cluster_map.members[0]
+        held = cluster_map.vpns_held_by(tile, (0, 128))
+        assert held
+        for vpn in held:
+            assert cluster_map.holder_of(vpn) is tile
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_rotated_layers_place_holders_apart(self, vpn):
+        """Rotation guarantee: the ring-1 and ring-2 holders of any VPN sit
+        in different half-planes, so every requester has a nearby layer."""
+        topology = MeshTopology(7, 7)
+        inner = ClusterMap(topology.ring_members(1), layer_index=0)
+        outer = ClusterMap(topology.ring_members(2), layer_index=1)
+        inner_holder = inner.holder_of(vpn).coordinate
+        outer_holder = outer.holder_of(vpn).coordinate
+        distance = topology.manhattan(inner_holder, outer_holder)
+        assert distance >= 2  # never co-located / adjacent corner-stacked
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    @settings(max_examples=200, deadline=None)
+    def test_holder_deterministic(self, vpn):
+        topology = MeshTopology(7, 7)
+        first = ClusterMap(topology.ring_members(2), 0).holder_of(vpn)
+        second = ClusterMap(topology.ring_members(2), 0).holder_of(vpn)
+        assert first.tile_id == second.tile_id

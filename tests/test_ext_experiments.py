@@ -1,0 +1,51 @@
+"""Cheap runs of the extension experiments (design-knob ablations)."""
+
+import pytest
+
+from repro.experiments import (
+    ext_layers,
+    ext_rotation,
+    ext_shootdown,
+    ext_threshold,
+)
+from repro.experiments.common import RunCache
+
+FAST = dict(scale=0.02, seed=3, benchmarks=["pr", "relu"])
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache()
+
+
+class TestExtRotation:
+    def test_reports_both_variants(self, cache):
+        result = ext_rotation.run(cache=cache, **FAST)
+        assert result.headers == [
+            "Benchmark", "No rotation", "With rotation", "RTT ratio",
+        ]
+        assert len(result.rows) == 3  # two benchmarks + geomean line
+
+
+class TestExtLayers:
+    def test_sweeps_four_layer_counts(self, cache):
+        result = ext_layers.run(cache=cache, **FAST)
+        assert result.headers[1:] == ["C=0", "C=1", "C=2", "C=3"]
+        geomean = result.row_for("GEOMEAN")
+        assert all(value > 0.5 for value in geomean[1:])
+
+
+class TestExtThreshold:
+    def test_sweeps_thresholds(self, cache):
+        result = ext_threshold.run(cache=cache, **FAST)
+        assert [row[0] for row in result.rows] == [
+            "threshold=1", "threshold=2", "threshold=4", "threshold=8",
+        ]
+
+
+class TestExtShootdown:
+    def test_fraction_is_small(self, cache):
+        result = ext_shootdown.run(scale=0.02, seed=3, benchmarks=("pr",))
+        row = result.row_for("PR")
+        assert row[2] > 0  # pages freed
+        assert row[5] < 0.5  # shootdown cost small vs the run

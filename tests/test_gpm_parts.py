@@ -1,0 +1,111 @@
+"""Tests for GPM sub-components: data cache and trace driver."""
+
+import pytest
+
+from repro.config.gpm import CacheConfig
+from repro.gpm.cache import DataCache
+from repro.gpm.cu import TraceDriver
+
+
+@pytest.fixture
+def cache():
+    return DataCache("c", CacheConfig(64 * 1024, 4, 16, 20))
+
+
+class TestDataCache:
+    def test_miss_then_hit(self, cache):
+        key = DataCache.line_key(0, 10, 0)
+        assert cache.access(key) is False
+        assert cache.access(key) is True
+
+    def test_line_keys_distinguish_owner(self):
+        assert DataCache.line_key(0, 1, 0) != DataCache.line_key(1, 1, 0)
+
+    def test_line_keys_distinguish_lines_in_page(self):
+        assert DataCache.line_key(0, 1, 0) != DataCache.line_key(0, 1, 64)
+
+    def test_same_line_same_key(self):
+        assert DataCache.line_key(0, 1, 3) == DataCache.line_key(0, 1, 60)
+
+    def test_lru_within_set(self, cache):
+        keys = [cache.num_sets * i for i in range(cache.num_ways + 1)]
+        for key in keys:
+            cache.access(key)
+        assert cache.probe(keys[0]) is False  # evicted
+        assert cache.probe(keys[-1]) is True
+
+    def test_probe_does_not_fill(self, cache):
+        assert cache.probe(123) is False
+        assert cache.probe(123) is False
+
+    def test_hit_rate(self, cache):
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate() == pytest.approx(0.5)
+        assert cache.accesses == 2
+
+
+class TestTraceDriver:
+    def test_issues_whole_trace(self, sim):
+        issued = []
+        driver = TraceDriver(sim, issued.append, max_outstanding=100, burst=4)
+        driver.load([10, 20, 30])
+        # Completion immediately frees the slot.
+        driver.issue_fn = lambda a: (issued.append(a), driver.complete_one())
+        driver.start()
+        sim.run()
+        assert issued == [10, 20, 30]
+        assert driver.drained
+
+    def test_burst_limits_per_cycle_issue(self, sim):
+        times = []
+        driver = TraceDriver(sim, lambda a: times.append(sim.now),
+                             max_outstanding=100, burst=2, interval=1)
+        driver.load(list(range(6)))
+        driver.start()
+        sim.run_until(10)
+        assert times == [0, 0, 1, 1, 2, 2]
+
+    def test_outstanding_limit_blocks_issue(self, sim):
+        issued = []
+        driver = TraceDriver(sim, issued.append, max_outstanding=2, burst=4)
+        driver.load(list(range(5)))
+        driver.start()
+        sim.run_until(5)
+        assert len(issued) == 2  # stuck until completions
+        driver.complete_one()
+        driver.complete_one()
+        sim.run_until(10)
+        assert len(issued) == 4
+
+    def test_interval_spacing(self, sim):
+        times = []
+        driver = TraceDriver(sim, lambda a: times.append(sim.now),
+                             max_outstanding=10, burst=1, interval=5)
+        driver.load([1, 2, 3])
+        driver.start()
+        sim.run_until(20)
+        assert times == [0, 5, 10]
+
+    def test_on_drain_callback(self, sim):
+        drained = []
+        driver = TraceDriver(sim, lambda a: None, max_outstanding=4)
+        driver.on_drain = lambda: drained.append(sim.now)
+        driver.load([1])
+        driver.start()
+        sim.run()
+        assert not drained  # one access still outstanding
+        driver.complete_one()
+        assert drained
+
+    def test_empty_trace_drains_immediately(self, sim):
+        drained = []
+        driver = TraceDriver(sim, lambda a: None, max_outstanding=4)
+        driver.on_drain = lambda: drained.append(True)
+        driver.load([])
+        driver.start()
+        assert drained
+
+    def test_invalid_parameters(self, sim):
+        with pytest.raises(ValueError):
+            TraceDriver(sim, lambda a: None, max_outstanding=0)

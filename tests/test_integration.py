@@ -1,0 +1,124 @@
+"""End-to-end shape tests on the real 7x7 wafer.
+
+These assert the paper's qualitative claims at reduced scale: HDPAT helps
+translation-bound workloads, leaves MT nearly untouched, reduces remote
+round-trip time, and adds only marginal NoC traffic.
+"""
+
+import pytest
+
+from repro.config.hdpat import HDPATConfig
+from repro.config.presets import wafer_7x12_config, wafer_7x7_config
+from repro.config.scaling import capacity_scaled
+from repro.system.runner import run_benchmark
+
+SCALE = 0.05
+SEED = 11
+
+
+def _run(config, workload):
+    return run_benchmark(
+        capacity_scaled(config, SCALE), workload, scale=SCALE, seed=SEED
+    )
+
+
+@pytest.fixture(scope="module")
+def baseline_pr():
+    return _run(wafer_7x7_config(), "pr")
+
+
+@pytest.fixture(scope="module")
+def hdpat_pr():
+    return _run(wafer_7x7_config(hdpat=HDPATConfig.full()), "pr")
+
+
+class TestHeadlineShape:
+    def test_hdpat_speeds_up_pr_substantially(self, baseline_pr, hdpat_pr):
+        assert hdpat_pr.speedup_over(baseline_pr) > 1.3
+
+    def test_hdpat_reduces_iommu_walks(self, baseline_pr, hdpat_pr):
+        assert hdpat_pr.iommu_walks < baseline_pr.iommu_walks
+
+    def test_hdpat_reduces_rtt(self, baseline_pr, hdpat_pr):
+        assert hdpat_pr.mean_rtt < baseline_pr.mean_rtt
+
+    def test_hdpat_offloads_translations(self, hdpat_pr):
+        assert hdpat_pr.offload_fraction() > 0.3
+        breakdown = hdpat_pr.remote_breakdown()
+        assert breakdown["peer"] > 0
+        assert breakdown["redirect"] > 0
+
+    def test_traffic_overhead_bounded_and_data_side_unchanged(
+        self, baseline_pr, hdpat_pr
+    ):
+        # The paper reports +0.82% *total* traffic because real kernels
+        # move ~100x more data bytes than translation bytes; our traces
+        # are representative (sparser) accesses, so we assert the honest
+        # invariants instead: the data-side volume is untouched and the
+        # translation-side overhead stays within a small multiple.
+        base_data = baseline_pr.total_link_bytes - baseline_pr.translation_link_bytes
+        hdpat_data = hdpat_pr.total_link_bytes - hdpat_pr.translation_link_bytes
+        assert hdpat_data == base_data
+        assert (
+            hdpat_pr.translation_link_bytes
+            < 4 * baseline_pr.translation_link_bytes
+        )
+
+    def test_mt_barely_improves(self):
+        baseline = _run(wafer_7x7_config(), "mt")
+        hdpat = _run(wafer_7x7_config(hdpat=HDPATConfig.full()), "mt")
+        assert hdpat.speedup_over(baseline) < 1.3
+
+    def test_all_gpms_finish_on_both_configs(self, baseline_pr, hdpat_pr):
+        assert baseline_pr.extras["all_finished"]
+        assert hdpat_pr.extras["all_finished"]
+
+
+class TestIdealizedIOMMUHeadroom:
+    def test_ideal_latency_beats_baseline(self, baseline_pr):
+        config = wafer_7x7_config()
+        ideal = config.with_iommu(config.iommu.idealized(walk_latency=1))
+        result = _run(ideal, "pr")
+        assert result.speedup_over(baseline_pr) > 1.5
+
+    def test_ideal_parallelism_beats_baseline(self, baseline_pr):
+        config = wafer_7x7_config()
+        ideal = config.with_iommu(config.iommu.idealized(num_walkers=4096))
+        result = _run(ideal, "pr")
+        assert result.speedup_over(baseline_pr) > 1.5
+
+
+class TestGeometry:
+    def test_central_gpms_finish_earlier_on_irregular_workload(self):
+        result = _run(wafer_7x7_config(), "spmv")
+        from repro.noc.topology import MeshTopology
+
+        topology = MeshTopology(7, 7)
+        by_ring = {}
+        for tile, finish in zip(topology.gpm_tiles, result.per_gpm_finish):
+            ring = topology.chebyshev_from_cpu(tile.coordinate)
+            by_ring.setdefault(ring, []).append(finish)
+        inner = sum(by_ring[1]) / len(by_ring[1])
+        outer = sum(by_ring[3]) / len(by_ring[3])
+        assert inner < outer
+
+    def test_larger_wafer_still_benefits(self):
+        baseline = _run(wafer_7x12_config(), "pr")
+        hdpat = _run(wafer_7x12_config(hdpat=HDPATConfig.full()), "pr")
+        assert hdpat.speedup_over(baseline) > 1.2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        first = _run(wafer_7x7_config(), "fwt")
+        second = _run(wafer_7x7_config(), "fwt")
+        assert first.exec_cycles == second.exec_cycles
+        assert first.iommu_walks == second.iommu_walks
+        assert first.total_link_bytes == second.total_link_bytes
+
+    def test_hdpat_deterministic_too(self):
+        config = wafer_7x7_config(hdpat=HDPATConfig.full())
+        first = _run(config, "spmv")
+        second = _run(config, "spmv")
+        assert first.exec_cycles == second.exec_cycles
+        assert first.served_by == second.served_by

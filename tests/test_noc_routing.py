@@ -1,0 +1,47 @@
+"""Tests for XY routing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.routing import hop_count, route_links, xy_route
+
+coords = st.tuples(st.integers(0, 11), st.integers(0, 11))
+
+
+class TestXYRoute:
+    def test_straight_line(self):
+        assert xy_route((0, 0), (3, 0)) == [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+    def test_x_before_y(self):
+        path = xy_route((0, 0), (2, 2))
+        assert path == [(0, 0), (1, 0), (2, 0), (2, 1), (2, 2)]
+
+    def test_self_route(self):
+        assert xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_negative_direction(self):
+        assert xy_route((3, 3), (1, 3)) == [(3, 3), (2, 3), (1, 3)]
+
+    @given(coords, coords)
+    def test_route_length_is_manhattan_plus_one(self, src, dst):
+        assert len(xy_route(src, dst)) == hop_count(src, dst) + 1
+
+    @given(coords, coords)
+    def test_route_steps_are_adjacent(self, src, dst):
+        path = xy_route(src, dst)
+        for a, b in zip(path, path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+    @given(coords, coords)
+    def test_route_endpoints(self, src, dst):
+        path = xy_route(src, dst)
+        assert path[0] == src and path[-1] == dst
+
+
+class TestRouteLinks:
+    def test_links_connect_path(self):
+        links = route_links((0, 0), (2, 0))
+        assert links == [((0, 0), (1, 0)), ((1, 0), (2, 0))]
+
+    def test_zero_hop_has_no_links(self):
+        assert route_links((1, 1), (1, 1)) == []

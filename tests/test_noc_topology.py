@@ -1,0 +1,110 @@
+"""Tests for the mesh topology: rings, quadrants, distances."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.topology import MeshTopology
+
+
+class TestConstruction:
+    def test_7x7_has_48_gpms(self):
+        topology = MeshTopology(7, 7)
+        assert topology.num_gpms == 48
+        assert topology.cpu_coordinate == (3, 3)
+
+    def test_7x12_has_83_gpms(self):
+        topology = MeshTopology(7, 12)
+        assert topology.num_gpms == 83
+
+    def test_mcm_row_layout(self):
+        topology = MeshTopology(5, 1)
+        assert topology.num_gpms == 4
+        assert topology.cpu_coordinate == (2, 0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(1, 1)
+
+    def test_tile_ids_unique(self):
+        topology = MeshTopology(5, 5)
+        ids = [tile.tile_id for tile in topology.tiles]
+        assert len(set(ids)) == len(ids) == 25
+
+    def test_tile_at_out_of_range(self):
+        topology = MeshTopology(3, 3)
+        with pytest.raises(ConfigurationError):
+            topology.tile_at(5, 5)
+
+
+class TestDistances:
+    def test_manhattan(self):
+        assert MeshTopology.manhattan((0, 0), (3, 4)) == 7
+
+    def test_chebyshev_from_cpu(self):
+        topology = MeshTopology(7, 7)
+        assert topology.chebyshev_from_cpu((3, 3)) == 0
+        assert topology.chebyshev_from_cpu((4, 4)) == 1
+        assert topology.chebyshev_from_cpu((0, 0)) == 3
+        assert topology.chebyshev_from_cpu((3, 0)) == 3
+
+    def test_hops_to_cpu(self):
+        topology = MeshTopology(7, 7)
+        assert topology.hops_to_cpu((0, 0)) == 6
+
+
+class TestRings:
+    def test_ring_sizes_in_7x7(self):
+        topology = MeshTopology(7, 7)
+        assert len(topology.ring_members(1)) == 8
+        assert len(topology.ring_members(2)) == 16
+        assert len(topology.ring_members(3)) == 24
+
+    def test_rings_partition_the_wafer(self):
+        topology = MeshTopology(7, 7)
+        total = sum(len(topology.ring_members(r)) for r in (1, 2, 3))
+        assert total == topology.num_gpms
+
+    def test_complete_rings_7x7(self):
+        assert MeshTopology(7, 7).complete_rings() == [1, 2, 3]
+
+    def test_complete_rings_7x12(self):
+        # Width 7 limits complete rings to Chebyshev distance 3.
+        assert MeshTopology(7, 12).complete_rings() == [1, 2, 3]
+
+    def test_ring_members_are_at_correct_distance(self):
+        topology = MeshTopology(7, 7)
+        for ring in (1, 2, 3):
+            for tile in topology.ring_members(ring):
+                assert topology.chebyshev_from_cpu(tile.coordinate) == ring
+
+    def test_ring_ordering_is_clockwise_walk(self):
+        topology = MeshTopology(7, 7)
+        members = topology.ring_members(1)
+        # Starts at the top-left corner of the ring and ends on the left side.
+        assert members[0].coordinate == (2, 2)
+        coords = [m.coordinate for m in members]
+        assert len(set(coords)) == 8
+        # consecutive members are mesh-adjacent (a closed walk).
+        for a, b in zip(coords, coords[1:]):
+            assert max(abs(a[0] - b[0]), abs(a[1] - b[1])) == 1
+
+    def test_ring_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeshTopology(7, 7).ring_members(0)
+
+
+class TestQuadrants:
+    def test_quadrants_balanced_on_ring(self):
+        topology = MeshTopology(7, 7)
+        for ring in (1, 2):
+            quadrants = [
+                topology.quadrant_of(t.coordinate)
+                for t in topology.ring_members(ring)
+            ]
+            for quadrant in range(4):
+                assert quadrants.count(quadrant) == len(quadrants) // 4
+
+    def test_quadrant_values_in_range(self):
+        topology = MeshTopology(5, 5)
+        for tile in topology.gpm_tiles:
+            assert 0 <= topology.quadrant_of(tile.coordinate) <= 3

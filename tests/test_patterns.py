@@ -1,0 +1,177 @@
+"""Property tests for the access-pattern library."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.address import AddressSpace
+from repro.mem.allocator import PageAllocator
+from repro.workloads.base import BuildContext
+from repro.workloads.patterns import (
+    aligned_stream,
+    butterfly_pairs,
+    cyclic_stream,
+    interleave,
+    shared_hot_stream,
+    strided_walk,
+    zipf_gather,
+)
+
+
+def _context(num_gpms=8, footprint_mb=4, seed=1):
+    allocator = PageAllocator(AddressSpace(), num_gpms)
+    return BuildContext(
+        allocator=allocator,
+        rng=random.Random(seed),
+        num_gpms=num_gpms,
+        accesses_per_gpm=200,
+        footprint_bytes=footprint_mb * 1024 * 1024,
+        page_size=4096,
+    )
+
+
+def _in_bounds(ctx, allocation, addrs):
+    base = allocation.base_vpn * ctx.page_size
+    end = allocation.end_vpn * ctx.page_size
+    return all(base <= a < end for a in addrs)
+
+
+class TestBounds:
+    @pytest.mark.parametrize("gpm", [0, 3, 7])
+    def test_aligned_stream_in_bounds(self, gpm):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = aligned_stream(ctx, allocation, gpm, 100, step=256, passes=2)
+        assert len(addrs) == 100
+        assert _in_bounds(ctx, allocation, addrs)
+
+    @pytest.mark.parametrize("gpm", [0, 5])
+    def test_cyclic_stream_in_bounds(self, gpm):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = cyclic_stream(ctx, allocation, gpm, 150)
+        assert len(addrs) == 150
+        assert _in_bounds(ctx, allocation, addrs)
+
+    def test_butterfly_in_bounds(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = butterfly_pairs(ctx, allocation, 2, 120)
+        assert addrs
+        assert _in_bounds(ctx, allocation, addrs)
+
+    def test_zipf_in_bounds(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(0.5)
+        addrs = zipf_gather(ctx, allocation, 300)
+        assert len(addrs) == 300
+        assert _in_bounds(ctx, allocation, addrs)
+
+    def test_strided_walk_in_bounds(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = strided_walk(ctx, allocation, 1, 100, stride=70_000, passes=2)
+        assert len(addrs) == 100
+        assert _in_bounds(ctx, allocation, addrs)
+
+    def test_shared_hot_stream_stays_in_region(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = shared_hot_stream(ctx, allocation, 100, region_bytes=2048)
+        base = allocation.base_vpn * ctx.page_size
+        assert all(base <= a < base + 2048 for a in addrs)
+
+
+class TestSemantics:
+    def test_aligned_stream_is_owner_local(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        space = ctx.allocator.address_space
+        for gpm in range(ctx.num_gpms):
+            addrs = aligned_stream(ctx, allocation, gpm, 50, step=4096)
+            owners = {ctx.allocator.owner_of(space.vpn_of(a)) for a in addrs}
+            assert owners == {gpm}
+
+    def test_cyclic_streams_disjoint_across_gpms(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        first = set(cyclic_stream(ctx, allocation, 0, 64, step=4096))
+        second = set(cyclic_stream(ctx, allocation, 1, 64, step=4096))
+        assert not first & second
+
+    def test_cyclic_stream_sequential_within_chunk(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = cyclic_stream(ctx, allocation, 0, 64, step=4096,
+                              chunk_bytes=4 * 4096)
+        # First four pages are the chunk, sequential.
+        deltas = [b - a for a, b in zip(addrs[:3], addrs[1:4])]
+        assert deltas == [4096, 4096, 4096]
+
+    def test_butterfly_emits_pairs(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = butterfly_pairs(ctx, allocation, 0, 40, element_bytes=256)
+        assert len(addrs) % 2 == 0
+
+    def test_zipf_is_deterministic_per_rng(self):
+        ctx_a = _context(seed=5)
+        ctx_b = _context(seed=5)
+        alloc_a = ctx_a.alloc_fraction(1.0)
+        alloc_b = ctx_b.alloc_fraction(1.0)
+        assert zipf_gather(ctx_a, alloc_a, 50) == zipf_gather(ctx_b, alloc_b, 50)
+
+    def test_strided_walk_passes_repeat_pages(self):
+        ctx = _context()
+        allocation = ctx.alloc_fraction(1.0)
+        addrs = strided_walk(ctx, allocation, 0, 100, stride=65_536, passes=2)
+        first_pass = addrs[:50]
+        second_pass = addrs[50:]
+        assert first_pass == second_pass
+
+    def test_interleave_round_robin(self):
+        assert interleave([1, 3, 5], [2, 4]) == [1, 2, 3, 4, 5]
+
+    def test_interleave_empty(self):
+        assert interleave([], []) == []
+
+
+class TestPartitionBounds:
+    def test_bounds_cover_buffer_exactly(self):
+        ctx = _context(num_gpms=5)
+        allocation = ctx.alloc_fraction(1.0)
+        covered = 0
+        for gpm in range(5):
+            _start, length = ctx.partition_bounds(allocation, gpm)
+            covered += length
+        assert covered == allocation.num_pages * ctx.page_size
+
+    def test_bounds_match_allocator_ownership(self):
+        ctx = _context(num_gpms=7)
+        allocation = ctx.alloc_fraction(1.0)
+        space = ctx.allocator.address_space
+        for gpm in range(7):
+            start, length = ctx.partition_bounds(allocation, gpm)
+            first_vpn = space.vpn_of(ctx.addr(allocation, start))
+            last_vpn = space.vpn_of(ctx.addr(allocation, start + length - 1))
+            assert allocation.owner_of[first_vpn] == gpm
+            assert allocation.owner_of[last_vpn] == gpm
+
+    @given(st.integers(2, 16), st.integers(3, 300))
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_property(self, num_gpms, pages):
+        ctx = _context(num_gpms=num_gpms)
+        allocation = ctx.allocator.allocate_pages(pages)
+        total = 0
+        previous_end = None
+        for gpm in range(num_gpms):
+            start, length = ctx.partition_bounds(allocation, gpm)
+            if pages >= num_gpms:
+                if previous_end is not None:
+                    assert start == previous_end
+                previous_end = start + length
+            total += length
+        if pages >= num_gpms:
+            assert total == pages * ctx.page_size

@@ -1,0 +1,160 @@
+"""Cross-module hypothesis property suites.
+
+These pin the algebraic invariants the simulator's correctness rests on:
+event ordering, allocator coverage, redirection-table LRU behaviour,
+cluster-map coverage at every mesh size, and capacity-scaling monotonicity.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.presets import wafer_7x7_config
+from repro.config.scaling import capacity_scaled
+from repro.core.clustering import ClusterMap
+from repro.iommu.redirection import RedirectionTable
+from repro.mem.address import AddressSpace
+from repro.mem.allocator import PageAllocator
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator
+
+
+class TestEngineProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_events_fire_in_nondecreasing_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_final_cycle_is_max_delay(self, delays):
+        sim = Simulator()
+        for delay in delays:
+            sim.schedule(delay, lambda: None)
+        assert sim.run() == max(delays)
+
+
+class TestAllocatorProperties:
+    @given(
+        st.integers(min_value=1, max_value=64),
+        st.lists(st.integers(1, 500), min_size=1, max_size=10),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_every_page_owned_and_owners_in_range(self, num_gpms, sizes):
+        allocator = PageAllocator(AddressSpace(), num_gpms)
+        for size in sizes:
+            allocation = allocator.allocate_pages(size)
+            owners = [allocation.owner_of[v] for v in allocation.vpns()]
+            assert len(owners) == size
+            assert all(0 <= owner < num_gpms for owner in owners)
+            # Contiguous runs: owner ids never decrease along the range.
+            assert owners == sorted(owners)
+
+    @given(st.integers(1, 32), st.integers(1, 400))
+    @settings(max_examples=50, deadline=None)
+    def test_ownership_balanced_within_one_page(self, num_gpms, pages):
+        allocator = PageAllocator(AddressSpace(), num_gpms)
+        allocation = allocator.allocate_pages(pages)
+        counts = {}
+        for owner in allocation.owner_of.values():
+            counts[owner] = counts.get(owner, 0) + 1
+        if counts:
+            assert max(counts.values()) - min(counts.values()) <= 1
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_materialized_frames_unique_per_gpm(self, num_gpms):
+        allocator = PageAllocator(AddressSpace(), num_gpms)
+        entries = []
+        for _ in range(3):
+            entries += allocator.materialize(allocator.allocate_pages(40))
+        seen = set()
+        for entry in entries:
+            key = (entry.owner_gpm, entry.pfn)
+            assert key not in seen
+            seen.add(key)
+
+
+class TestRedirectionProperties:
+    @given(st.lists(st.tuples(st.integers(0, 50), st.integers(0, 7)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_size_never_exceeds_capacity(self, updates):
+        table = RedirectionTable(capacity=16)
+        for vpn, gpm in updates:
+            table.update(vpn, gpm)
+        assert len(table) <= 16
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_last_update_wins(self, vpns):
+        table = RedirectionTable(capacity=64)
+        last = {}
+        for index, vpn in enumerate(vpns):
+            table.update(vpn, index % 48)
+            last[vpn] = index % 48
+        for vpn, expected in last.items():
+            if vpn in table:
+                assert table.lookup(vpn) == expected
+
+
+class TestClusterMapProperties:
+    @given(
+        st.sampled_from([(5, 5), (7, 7), (9, 9), (7, 12)]),
+        st.integers(1, 2),
+        st.integers(0, 2**32),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_one_holder_on_any_mesh(self, dims, ring, vpn):
+        topology = MeshTopology(*dims)
+        if ring not in topology.complete_rings():
+            return
+        cluster_map = ClusterMap(topology.ring_members(ring), layer_index=0)
+        holder = cluster_map.holder_of(vpn)
+        assert holder in cluster_map.members
+        # Deterministic and stable:
+        assert cluster_map.holder_of(vpn) is holder
+
+    @given(st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_positions_cover_whole_ring(self, ring):
+        topology = MeshTopology(9, 9)
+        cluster_map = ClusterMap(topology.ring_members(ring), layer_index=0)
+        positions = {
+            cluster_map.position_of(vpn) for vpn in range(8 * ring * 16)
+        }
+        assert positions == set(range(8 * ring))
+
+
+class TestCapacityScalingProperties:
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_scaled_capacities_never_exceed_full(self, scale):
+        full = wafer_7x7_config()
+        scaled = capacity_scaled(full, scale)
+        assert scaled.gpm.l2_tlb.capacity <= full.gpm.l2_tlb.capacity
+        assert scaled.gpm.gmmu_cache.capacity <= full.gpm.gmmu_cache.capacity
+        assert scaled.iommu.redirection_entries <= full.iommu.redirection_entries
+        assert scaled.gpm.l2_cache.size_bytes <= full.gpm.l2_cache.size_bytes
+
+    @given(st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_is_monotone(self, a, b):
+        small, large = sorted((a, b))
+        config_small = capacity_scaled(wafer_7x7_config(), small)
+        config_large = capacity_scaled(wafer_7x7_config(), large)
+        assert (
+            config_small.gpm.l2_tlb.capacity
+            <= config_large.gpm.l2_tlb.capacity
+        )
+        assert (
+            config_small.iommu.redirection_entries
+            <= config_large.iommu.redirection_entries
+        )

@@ -1,0 +1,57 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.common import ExperimentResult, RunCache
+from repro.experiments.report import generate_report, main, markdown_table
+
+
+class TestMarkdownTable:
+    def test_renders_headers_rows_notes(self):
+        result = ExperimentResult(
+            "x", "demo", ["A", "B"], [["r", 1.2345]], notes="a note"
+        )
+        text = markdown_table(result)
+        assert "### `x` — demo" in text
+        assert "| A | B |" in text
+        assert "| r | 1.234 |" in text or "| r | 1.235 |" in text
+        assert "> a note" in text
+
+    def test_no_notes_no_quote_block(self):
+        result = ExperimentResult("x", "t", ["A"], [["r"]])
+        assert ">" not in markdown_table(result).replace("###", "")
+
+
+class TestGenerateReport:
+    def test_static_experiments_only(self):
+        document = generate_report(
+            experiment_ids=["tab01", "tab02", "overhead"], scale=0.02
+        )
+        assert document.startswith("# HDPAT reproduction report")
+        assert "`tab01`" in document and "`tab02`" in document
+        assert "`tab_overhead`" in document  # the module's own id
+
+    def test_progress_callback_invoked(self):
+        seen = []
+        generate_report(
+            experiment_ids=["tab01"],
+            progress=lambda eid, secs: seen.append(eid),
+        )
+        assert seen == ["tab01"]
+
+    def test_shared_cache_reused(self, small_system_config):
+        cache = RunCache()
+        generate_report(experiment_ids=["tab01"], cache=cache)
+        assert cache.misses == 0  # static experiment, no runs needed
+
+
+class TestCLI:
+    def test_stdout_output(self, capsys):
+        assert main(["--experiments", "tab01"]) == 0
+        out = capsys.readouterr().out
+        assert "Redirection Table" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["--experiments", "tab02", "--out", str(target)]) == 0
+        assert "SPMV" in target.read_text()

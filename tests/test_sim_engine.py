@@ -1,0 +1,113 @@
+"""Tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_schedule_fires_at_correct_cycle(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [10]
+
+    def test_schedule_at_absolute_time(self, sim):
+        fired = []
+        sim.schedule_at(25, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [25]
+
+    def test_zero_delay_fires_same_cycle(self, sim):
+        fired = []
+        sim.schedule(0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(10, lambda: sim.schedule_at(5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_same_cycle_events_fire_in_fifo_order(self, sim):
+        order = []
+        for tag in range(5):
+            sim.schedule(7, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_events_fire_in_time_order(self, sim):
+        order = []
+        for delay in (30, 10, 20):
+            sim.schedule(delay, lambda d=delay: order.append(d))
+        sim.run()
+        assert order == [10, 20, 30]
+
+    def test_callback_can_schedule_more_events(self, sim):
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(5, chain)
+
+        sim.schedule(5, chain)
+        sim.run()
+        assert fired == [5, 10, 15]
+
+
+class TestExecution:
+    def test_run_returns_final_cycle(self, sim):
+        sim.schedule(42, lambda: None)
+        assert sim.run() == 42
+
+    def test_run_empty_queue_is_noop(self, sim):
+        assert sim.run() == 0
+
+    def test_step_returns_false_when_empty(self, sim):
+        assert sim.step() is False
+
+    def test_step_processes_single_event(self, sim):
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(2, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_run_until_stops_at_bound(self, sim):
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run_until(50)
+        assert fired == [10]
+        assert sim.now == 50
+        assert sim.pending_events == 1
+
+    def test_max_cycles_cuts_off_execution(self):
+        sim = Simulator(max_cycles=50)
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run()
+        assert fired == [10]
+
+    def test_nested_run_rejected(self, sim):
+        sim.schedule(1, lambda: sim.run())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_processed_counter(self, sim):
+        for delay in range(5):
+            sim.schedule(delay, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+    def test_pending_events_tracks_queue(self, sim):
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        assert sim.pending_events == 2

@@ -1,0 +1,66 @@
+"""Tests for the single-run CLI (``python -m repro.system``)."""
+
+import json
+
+import pytest
+
+from repro.system.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["spmv"])
+        assert args.benchmark == "spmv"
+        assert args.mesh == "7x7"
+        assert args.gpu == "mi100"
+        assert not args.hdpat
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_hdpat_and_ablation_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["spmv", "--hdpat", "--ablation", "route"])
+
+
+class TestMain:
+    def test_baseline_text_output(self, capsys):
+        assert main(["aes", "--mesh", "3x3", "--scale", "0.02"]) == 0
+        out = capsys.readouterr().out
+        assert "AES on" in out
+        assert "IOMMU:" in out
+
+    def test_hdpat_json_output(self, capsys):
+        assert main([
+            "pr", "--mesh", "3x3", "--scale", "0.02", "--hdpat", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["workload"] == "pr"
+        assert "remote_breakdown" in payload
+        assert payload["exec_cycles"] > 0
+
+    def test_ablation_flag(self, capsys):
+        assert main([
+            "pr", "--mesh", "3x3", "--scale", "0.02",
+            "--ablation", "redirection",
+        ]) == 0
+        assert "redir" in capsys.readouterr().out
+
+    def test_bad_mesh_spec(self, capsys):
+        assert main(["aes", "--mesh", "banana"]) == 2
+        assert "must look like" in capsys.readouterr().err
+
+    def test_page_size_flag(self, capsys):
+        assert main([
+            "aes", "--mesh", "3x3", "--scale", "0.02",
+            "--page-size", "16384", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "page=16K" in payload["config"]
+
+    def test_no_capacity_scaling_flag(self, capsys):
+        assert main([
+            "aes", "--mesh", "3x3", "--scale", "0.02",
+            "--no-capacity-scaling",
+        ]) == 0

@@ -1,0 +1,112 @@
+"""Tests for the trace container and run-result derivations."""
+
+import pytest
+
+from repro.core.request import ServedBy
+from repro.errors import WorkloadError
+from repro.system.result import RunResult
+from repro.workloads.trace import WorkloadTrace
+
+
+def _trace(**overrides):
+    kwargs = dict(name="t", per_gpm=[[1, 2], [3]], burst=4, interval=1)
+    kwargs.update(overrides)
+    return WorkloadTrace(**kwargs)
+
+
+class TestWorkloadTrace:
+    def test_totals(self):
+        trace = _trace()
+        assert trace.num_gpms == 2
+        assert trace.total_accesses == 3
+
+    def test_merged_stream_round_robin(self):
+        trace = _trace(per_gpm=[[1, 3], [2, 4], [5]])
+        assert trace.merged_stream() == [1, 2, 5, 3, 4]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            _trace(per_gpm=[])
+
+    def test_bad_issue_shape_rejected(self):
+        with pytest.raises(WorkloadError):
+            _trace(burst=0)
+        with pytest.raises(WorkloadError):
+            _trace(interval=0)
+
+
+def _result(**overrides):
+    kwargs = dict(
+        workload="x",
+        config_description="cfg",
+        exec_cycles=1000,
+        per_gpm_finish=[900, 1000],
+        served_by={
+            ServedBy.LOCAL_L1: 10,
+            ServedBy.PEER: 2,
+            ServedBy.REDIRECT: 3,
+            ServedBy.PROACTIVE: 5,
+            ServedBy.IOMMU: 10,
+        },
+        total_accesses=100,
+        iommu_requests=20,
+        iommu_walks=10,
+        iommu_coalesced=0,
+        iommu_redirects=3,
+        latency_breakdown={},
+        latency_percent={},
+        prefetch_pushed=10,
+        total_link_bytes=1000,
+        translation_link_bytes=100,
+        mean_hops=3.0,
+        mean_rtt=500.0,
+        remote_translations=20,
+    )
+    kwargs.update(overrides)
+    return RunResult(**kwargs)
+
+
+class TestRunResult:
+    def test_speedup(self):
+        fast = _result(exec_cycles=500)
+        slow = _result(exec_cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_invalid(self):
+        with pytest.raises(ValueError):
+            _result(exec_cycles=0).speedup_over(_result())
+
+    def test_remote_breakdown_fractions(self):
+        breakdown = _result().remote_breakdown()
+        assert breakdown["peer"] == pytest.approx(0.1)
+        assert breakdown["redirect"] == pytest.approx(0.15)
+        assert breakdown["proactive"] == pytest.approx(0.25)
+        assert breakdown["iommu"] == pytest.approx(0.5)
+
+    def test_remote_breakdown_no_remote(self):
+        result = _result(served_by={ServedBy.LOCAL_L1: 5})
+        assert result.remote_breakdown()["iommu"] == 1.0
+
+    def test_offload_fraction(self):
+        assert _result().offload_fraction() == pytest.approx(0.5)
+
+    def test_local_fraction(self):
+        assert _result().local_fraction() == pytest.approx(10 / 30)
+
+    def test_prefetch_accuracy_capped(self):
+        result = _result(prefetch_pushed=2)  # 5 proactive > 2 pushed
+        assert result.prefetch_accuracy() == 1.0
+
+    def test_prefetch_accuracy_zero_when_nothing_pushed(self):
+        assert _result(prefetch_pushed=0).prefetch_accuracy() == 0.0
+
+    def test_exec_ms(self):
+        assert _result(exec_cycles=2_000_000).exec_ms == pytest.approx(2.0)
+
+    def test_gpm_finish_ms(self):
+        ms = _result().gpm_finish_ms()
+        assert len(ms) == 2 and ms[0] < ms[1]
+
+    def test_served_helper(self):
+        assert _result().served(ServedBy.PEER) == 2
+        assert _result().served(ServedBy.LOCAL_WALK) == 0

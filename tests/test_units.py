@@ -1,0 +1,56 @@
+"""Tests for unit helpers."""
+
+import pytest
+
+from repro.units import (
+    CACHELINE_BYTES,
+    GB,
+    KB,
+    MB,
+    bytes_per_cycle,
+    cycles_to_ms,
+    geomean,
+    serialization_cycles,
+)
+
+
+class TestSizes:
+    def test_size_constants(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert CACHELINE_BYTES == 64
+
+
+class TestBandwidth:
+    def test_bytes_per_cycle_at_1ghz(self):
+        assert bytes_per_cycle(768e9) == pytest.approx(768.0)
+
+    def test_serialization_minimum_one_cycle(self):
+        assert serialization_cycles(16, 768.0) == 1
+
+    def test_serialization_large_message(self):
+        assert serialization_cycles(7680, 768.0) == 10
+
+    def test_serialization_rejects_zero_bandwidth(self):
+        with pytest.raises(ValueError):
+            serialization_cycles(64, 0)
+
+
+class TestConversions:
+    def test_cycles_to_ms(self):
+        assert cycles_to_ms(1_000_000) == pytest.approx(1.0)
+
+    def test_geomean_basic(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geomean_single(self):
+        assert geomean([3.5]) == pytest.approx(3.5)
+
+    def test_geomean_empty_raises(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_nonpositive_raises(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])

@@ -1,0 +1,59 @@
+"""Tests for the ASCII wafer visualisation."""
+
+import pytest
+
+from repro.noc.topology import MeshTopology
+from repro.system.visualize import ring_summary, wafer_heatmap
+
+
+@pytest.fixture
+def topology():
+    return MeshTopology(5, 5)
+
+
+class TestHeatmap:
+    def test_renders_all_rows_and_marks_cpu(self, topology):
+        text = wafer_heatmap(topology, list(range(24)), title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert len(lines) == 1 + 5 + 1  # title + grid + scale line
+        assert "[CPU]" in text
+
+    def test_extreme_values_use_extreme_shades(self, topology):
+        values = [0.0] * 23 + [100.0]
+        text = wafer_heatmap(topology, values)
+        assert "@@@" in text  # the single hot tile
+        assert "   " in text  # cold tiles
+
+    def test_uniform_values_do_not_crash(self, topology):
+        text = wafer_heatmap(topology, [5.0] * 24)
+        assert "[CPU]" in text
+
+    def test_wrong_value_count_rejected(self, topology):
+        with pytest.raises(ValueError):
+            wafer_heatmap(topology, [1.0] * 10)
+
+    def test_custom_cpu_marker(self, topology):
+        text = wafer_heatmap(topology, [1.0] * 24, cpu_marker="IOMMU")
+        assert "[IOMMU]" in text
+
+
+class TestRingSummary:
+    def test_rings_and_counts(self, topology):
+        summary = ring_summary(topology, [1.0] * 24)
+        assert [(ring, count) for ring, count, _mean in summary] == [
+            (1, 8), (2, 16),
+        ]
+
+    def test_means_by_ring(self, topology):
+        values = [
+            float(topology.chebyshev_from_cpu(t.coordinate))
+            for t in topology.gpm_tiles
+        ]
+        summary = ring_summary(topology, values)
+        assert summary[0][2] == pytest.approx(1.0)
+        assert summary[1][2] == pytest.approx(2.0)
+
+    def test_wrong_value_count_rejected(self, topology):
+        with pytest.raises(ValueError):
+            ring_summary(topology, [1.0])
