@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Record an execution trace and dissect it from Python.
+
+Runs one benchmark with full observability on, then shows the three ways
+to consume the data:
+
+1. the span API — find the slowest remote translations and walk their
+   step-by-step lifecycle (issue, NoC hops, probes, IOMMU walk, response);
+2. the metrics registry — hierarchical counters / histograms snapshot;
+3. the exporters — write a Perfetto-viewable Chrome trace and a lossless
+   JSONL file, and print the profiling report.
+
+Run:
+    python examples/trace_inspect.py [benchmark] [scale] [out-prefix]
+
+Then load <out-prefix>.json in https://ui.perfetto.dev — one named track
+per hardware unit (gpm0..gpmN, iommu, noc, depth counters), remote
+translations as async spans connecting them.
+"""
+
+import sys
+
+from repro import HDPATConfig, run_benchmark, wafer_7x7_config
+from repro.config.scaling import capacity_scaled
+from repro.obs import Observability, summarize, write_jsonl, write_trace
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "fir"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.05
+    prefix = sys.argv[3] if len(sys.argv) > 3 else "trace_inspect"
+
+    config = capacity_scaled(
+        wafer_7x7_config(hdpat=HDPATConfig.full()), scale
+    )
+    obs = Observability(metrics=True, trace=True, profile=True)
+    print(f"Running {workload.upper()} at scale {scale} with tracing on...")
+    result = run_benchmark(config, workload, scale=scale, obs=obs)
+
+    # 1. Span API: the slowest remote translations, step by step.
+    spans = obs.tracer.async_spans(name="remote_translation")
+    spans.sort(key=lambda span: -span.duration)
+    print(f"\n{len(spans)} remote translations traced; slowest three:")
+    for span in spans[:3]:
+        print(f"  vpn={span.begin_args.get('vpn')} from {span.track}: "
+              f"{span.duration:,} cycles, "
+              f"served_by={span.end_args.get('served_by')}")
+        for step in span.steps:
+            print(f"    @{step.ts:<10,} {step.name:<20} {step.args or ''}")
+
+    # 2. Metrics registry: nested snapshot.
+    metrics = result.extras["metrics"]
+    walk_latency = metrics["iommu"].get("latency", {})
+    print(f"\nIOMMU walks: {metrics['iommu']['walks']:,}; "
+          f"latency phases: {sorted(walk_latency)}")
+    ptw = walk_latency.get("ptw")
+    if ptw:
+        print(f"  ptw: mean={ptw['mean']:,.0f} p95={ptw['p95']:,.0f} "
+              f"(n={ptw['count']:,})")
+
+    # 3. Exporters and the profiling report.
+    chrome_path, jsonl_path = f"{prefix}.json", f"{prefix}.jsonl"
+    count = write_trace(obs.tracer, chrome_path)
+    write_jsonl(obs.tracer, jsonl_path)
+    print(f"\nwrote {count:,} events -> {chrome_path} (Perfetto) "
+          f"and {jsonl_path} (JSONL)")
+    print()
+    print(summarize(result, obs=obs))
+
+
+if __name__ == "__main__":
+    main()

@@ -48,6 +48,7 @@ class TranslationPolicy:
     def __init__(self, hdpat: HDPATConfig) -> None:
         self.hdpat = hdpat
         self.wafer = None
+        self._tracer = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -55,6 +56,8 @@ class TranslationPolicy:
     def bind(self, wafer) -> None:
         """Attach to a built wafer (topology, GPMs, IOMMU, network)."""
         self.wafer = wafer
+        tracer = wafer.obs.tracer
+        self._tracer = tracer if tracer.enabled else None
 
     def coord_of_gpm(self, gpm_id: int) -> Coordinate:
         return self.wafer.gpms[gpm_id].coordinate
@@ -71,12 +74,23 @@ class TranslationPolicy:
         self.send_to_iommu(gpm.coordinate, request)
 
     def make_request(self, gpm, pending) -> TranslationRequest:
-        return TranslationRequest(
+        request = TranslationRequest(
             vpn=pending.vpn,
             requester_gpm=gpm.gpm_id,
             requester_coord=gpm.coordinate,
             issued_at=gpm.sim.now,
         )
+        if self._tracer is not None:
+            # The request id keys the whole remote-translation span: every
+            # NoC leg, peer probe, redirect, and IOMMU phase stitches onto
+            # it, and the requester GPM closes it on completion.
+            pending.trace_id = request.request_id
+            self._tracer.async_begin(
+                gpm.sim.now, "remote_translation", cat="translation",
+                track=gpm.name, span_id=request.request_id,
+                args={"vpn": pending.vpn, "gpm": gpm.gpm_id},
+            )
+        return request
 
     # ------------------------------------------------------------------
     # Peer side
@@ -94,6 +108,7 @@ class TranslationPolicy:
         flagged ``no_redirect`` so it takes the walk path.
         """
         request: TranslationRequest = message.payload
+        self._trace_step(gpm, request, "redirect_probe")
 
         def _done(entry: Optional[PageTableEntry]) -> None:
             if entry is not None:
@@ -101,6 +116,7 @@ class TranslationPolicy:
             else:
                 gpm.bump("redirect_bounces")
                 request.no_redirect = True
+                self._trace_step(gpm, request, "redirect_bounce")
                 self.send_to_iommu(gpm.coordinate, request)
 
         gpm.serve_peer_probe(request.vpn, _done)
@@ -116,6 +132,14 @@ class TranslationPolicy:
     # ------------------------------------------------------------------
     # Messaging helpers
     # ------------------------------------------------------------------
+    def _trace_step(self, gpm, request: TranslationRequest, name: str) -> None:
+        """Record one async step of a remote-translation span at a GPM."""
+        if self._tracer is not None:
+            self._tracer.async_instant(
+                gpm.sim.now, name, cat="translation", track=gpm.name,
+                span_id=request.request_id, args={"gpm": gpm.gpm_id},
+            )
+
     def send_to_iommu(self, from_coord: Coordinate, request: TranslationRequest) -> None:
         self.wafer.network.send(
             Message(
@@ -136,6 +160,12 @@ class TranslationPolicy:
         """Answer the requester directly from a peer GPM."""
         if served_by is ServedBy.PEER and entry.prefetched:
             served_by = ServedBy.PROACTIVE
+        if self._tracer is not None:
+            self._tracer.async_instant(
+                gpm.sim.now, "peer_respond", cat="translation",
+                track=gpm.name, span_id=request.request_id,
+                args={"gpm": gpm.gpm_id, "served_by": served_by.value},
+            )
         self.wafer.network.send(
             Message(
                 MessageKind.TRANSLATION_RESP,
@@ -184,6 +214,7 @@ class _ChainPolicy(TranslationPolicy):
     def on_peer_probe(self, gpm, message: Message) -> None:
         request, chain = message.payload
         request.probed_gpms.append(gpm.gpm_id)
+        self._trace_step(gpm, request, "peer_probe")
         remaining = chain[1:]
 
         def _done(entry: Optional[PageTableEntry]) -> None:
@@ -345,6 +376,7 @@ class ClusterRotationPolicy(TranslationPolicy):
 
     def on_peer_probe(self, gpm, message: Message) -> None:
         request, forwards = message.payload
+        self._trace_step(gpm, request, "peer_probe")
 
         def _done(entry: Optional[PageTableEntry]) -> None:
             if entry is not None:

@@ -23,3 +23,22 @@ class CapacityError(ReproError):
 
 class WorkloadError(ReproError):
     """Raised for unknown workloads or invalid trace parameters."""
+
+
+class ObservabilityError(ReproError):
+    """Raised for invalid tracing/metrics operations (e.g. span mismatch)."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for warnings the simulator emits about suspect results."""
+
+
+class TruncationWarning(ReproWarning):
+    """A run hit ``max_cycles`` and dropped still-pending events: every
+    end-of-run aggregate after the cutoff is an underestimate."""
+
+
+class AccountingWarning(ReproWarning):
+    """An internal accounting invariant failed (e.g. more proactive hits
+    than prefetched PTEs pushed) — figures stay clamped, but the raw value
+    points at a bookkeeping bug worth chasing."""

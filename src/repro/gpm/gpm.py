@@ -24,6 +24,7 @@ from repro.mem.address import AddressSpace
 from repro.mem.hbm import HBMModel
 from repro.mem.page import PageTableEntry
 from repro.noc.messages import Message, MessageKind
+from repro.obs import NULL_OBS
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.queueing import WalkerPool
@@ -35,7 +36,9 @@ Coordinate = Tuple[int, int]
 class PendingTranslation:
     """One outstanding translation miss, with merged waiters (MSHR entry)."""
 
-    __slots__ = ("vpn", "waiters", "created_at", "remote_start", "walking")
+    __slots__ = (
+        "vpn", "waiters", "created_at", "remote_start", "walking", "trace_id"
+    )
 
     def __init__(self, vpn: int, created_at: int) -> None:
         self.vpn = vpn
@@ -43,6 +46,9 @@ class PendingTranslation:
         self.created_at = created_at
         self.remote_start: Optional[int] = None
         self.walking = False
+        #: Tracing span id (the TranslationRequest id) once the miss goes
+        #: remote under an enabled tracer; None otherwise.
+        self.trace_id: Optional[int] = None
 
 
 class GPM(Component):
@@ -56,8 +62,16 @@ class GPM(Component):
         config: GPMConfig,
         address_space: AddressSpace,
         network,
+        obs=None,
     ) -> None:
         super().__init__(sim, f"gpm{gpm_id}")
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        self._rtt_hist = (
+            self.obs.registry.histogram(f"gpm{gpm_id}.rtt")
+            if self.obs.registry.enabled
+            else None
+        )
         self.gpm_id = gpm_id
         self.coordinate = coordinate
         self.config = config
@@ -147,6 +161,11 @@ class GPM(Component):
         pending = PendingTranslation(vpn, self.sim.now)
         pending.waiters.append(vaddr)
         self._pending[vpn] = pending
+        if self._tracer is not None:
+            self._tracer.instant(
+                self.sim.now, "tlb_miss", cat="translation", track=self.name,
+                args={"vpn": vpn, "needs_walk": needs_walk},
+            )
         if needs_walk:
             pending.walking = True
             self.gmmu.submit(vpn, self._local_walk_done)
@@ -159,6 +178,11 @@ class GPM(Component):
             return  # resolved meanwhile (e.g. a PTE push arrived)
         pending.walking = False
         entry = self.hierarchy.complete_local_walk(vpn)
+        if self._tracer is not None:
+            self._tracer.instant(
+                self.sim.now, "gmmu_walk_done", cat="translation",
+                track=self.name, args={"vpn": vpn, "hit": entry is not None},
+            )
         if entry is not None:
             self._translation_done(vpn, entry, ServedBy.LOCAL_WALK)
         else:
@@ -180,8 +204,17 @@ class GPM(Component):
             return  # late duplicate (second probe response, stale redirect)
         self._count(served_by)
         if pending.remote_start is not None:
-            self.rtt_sum += self.sim.now - pending.remote_start
+            rtt = self.sim.now - pending.remote_start
+            self.rtt_sum += rtt
             self.rtt_count += 1
+            if self._rtt_hist is not None:
+                self._rtt_hist.observe(rtt)
+        if pending.trace_id is not None and self._tracer is not None:
+            self._tracer.async_end(
+                self.sim.now, "remote_translation", cat="translation",
+                track=self.name, span_id=pending.trace_id,
+                args={"served_by": served_by.value, "vpn": vpn},
+            )
         self.hierarchy.fill_from_translation(vpn, entry)
         for vaddr in pending.waiters:
             self._data_phase(vaddr, entry)

@@ -30,6 +30,7 @@ from repro.iommu.redirection import RedirectionTable
 from repro.mem.page import PageTableEntry
 from repro.mem.page_table import GlobalPageTable
 from repro.noc.messages import Message, MessageKind
+from repro.obs import NULL_OBS
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.sim.queueing import FiniteBuffer, WalkerPool
@@ -56,8 +57,19 @@ class IOMMU(Component):
         config: IOMMUConfig,
         hdpat: HDPATConfig,
         network,
+        obs=None,
     ) -> None:
         super().__init__(sim, "iommu")
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        if self.obs.registry.enabled:
+            registry = self.obs.registry
+            self._lat_hists = {
+                phase: registry.histogram(f"iommu.latency.{phase}")
+                for phase in ("pre_queue", "ptw_queue", "ptw")
+            }
+        else:
+            self._lat_hists = None
         self.coordinate = coordinate
         self.config = config
         self.hdpat = hdpat
@@ -117,6 +129,12 @@ class IOMMU(Component):
         self.translation_counts.record(request.vpn)
         self.reuse_distance.record(request.vpn)
         self.spatial_locality.record(request.vpn, stream_id=request.requester_gpm)
+        if self._tracer is not None:
+            self._tracer.async_instant(
+                self.sim.now, "iommu.arrival", cat="translation",
+                track="iommu", span_id=request.request_id,
+                args={"vpn": request.vpn},
+            )
         if self.tlb is not None:
             self._receive_with_tlb(request)
             return
@@ -124,6 +142,12 @@ class IOMMU(Component):
             target_gpm = self.redirection.lookup(request.vpn)
             if target_gpm is not None:
                 self.bump("redirects")
+                if self._tracer is not None:
+                    self._tracer.async_instant(
+                        self.sim.now, "iommu.redirect", cat="translation",
+                        track="iommu", span_id=request.request_id,
+                        args={"target_gpm": target_gpm},
+                    )
                 self.network.send(
                     Message(
                         MessageKind.REDIRECT,
@@ -167,11 +191,26 @@ class IOMMU(Component):
         entry.touch()
         self.bump("walks")
         self.served_window.record(self.sim.now)
+        pre_queue = request.pw_enqueue - request.iommu_arrival
         self.breakdown.record(
-            pre_queue=request.pw_enqueue - request.iommu_arrival,
+            pre_queue=pre_queue,
             ptw_queue=record.queue_delay,
             ptw=record.service_time,
         )
+        if self._lat_hists is not None:
+            self._lat_hists["pre_queue"].observe(pre_queue)
+            self._lat_hists["ptw_queue"].observe(record.queue_delay)
+            self._lat_hists["ptw"].observe(record.service_time)
+        if self._tracer is not None:
+            self._tracer.complete(
+                record.started_at, record.service_time, "iommu.walk",
+                cat="iommu", track="iommu", span_id=request.request_id,
+                args={
+                    "vpn": request.vpn,
+                    "pre_queue": pre_queue,
+                    "ptw_queue": record.queue_delay,
+                },
+            )
         self._deliver_and_push(request, entry)
         if self.hdpat.pw_queue_revisit:
             self._revisit(request.vpn, entry)
@@ -350,6 +389,12 @@ class IOMMU(Component):
     ) -> None:
         if self.tlb is not None and request.vpn in self._tlb_waiters:
             self._tlb_walk_completed(request.vpn, entry)
+        if self._tracer is not None:
+            self._tracer.async_instant(
+                self.sim.now, "iommu.respond", cat="translation",
+                track="iommu", span_id=request.request_id,
+                args={"served_by": served_by.value},
+            )
         size = 16 + 16 * len(extras) if extras else None
         self.network.send(
             Message(

@@ -28,6 +28,7 @@ class Link:
         "translation_bytes",
         "messages_carried",
         "total_wait_cycles",
+        "busy_cycles",
     )
 
     def __init__(
@@ -46,6 +47,7 @@ class Link:
         self.translation_bytes = 0
         self.messages_carried = 0
         self.total_wait_cycles = 0
+        self.busy_cycles = 0
 
     def transmit(self, arrival: int, size_bytes: int, is_translation: bool) -> int:
         """Account one message; returns its delivery time at ``dst``."""
@@ -53,6 +55,7 @@ class Link:
         self.total_wait_cycles += start - arrival
         serialization = serialization_cycles(size_bytes, self.bytes_per_cycle)
         self.busy_until = start + serialization
+        self.busy_cycles += serialization
         self.bytes_carried += size_bytes
         self.messages_carried += 1
         if is_translation:
@@ -65,3 +68,9 @@ class Link:
             return 0.0
         busy = self.messages_carried  # ~1 cycle serialisation per message
         return min(1.0, busy / now)
+
+    def busy_fraction(self, now: int) -> float:
+        """Exact fraction of elapsed cycles the link spent serialising."""
+        if now <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / now)

@@ -2,18 +2,27 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.noc.link import Link
-from repro.noc.messages import Message
+from repro.noc.messages import Message, MessageKind
 from repro.noc.routing import route_links
 from repro.noc.topology import MeshTopology
+from repro.obs import NULL_OBS
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.units import bytes_per_cycle
 
 Coordinate = Tuple[int, int]
 DeliveryFn = Callable[[Message], None]
+
+
+def _request_id_of(message: Message) -> Optional[int]:
+    """The TranslationRequest id a message carries, if any (duck-typed)."""
+    payload = message.payload
+    if message.kind is MessageKind.PEER_PROBE and isinstance(payload, tuple):
+        payload = payload[0]
+    return getattr(payload, "request_id", None)
 
 
 class MeshNetwork(Component):
@@ -32,8 +41,11 @@ class MeshNetwork(Component):
         topology: MeshTopology,
         link_latency: int = 32,
         link_bandwidth_bytes_per_sec: float = 768e9,
+        obs=None,
     ) -> None:
         super().__init__(sim, "mesh")
+        self.obs = obs if obs is not None else NULL_OBS
+        self._tracer = self.obs.tracer if self.obs.tracer.enabled else None
         self.topology = topology
         self.link_latency = link_latency
         self.link_bytes_per_cycle = bytes_per_cycle(link_bandwidth_bytes_per_sec)
@@ -77,7 +89,9 @@ class MeshNetwork(Component):
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
         )
-        arrival = self.sim.now
+        sent_at = self.sim.now
+        arrival = sent_at
+        hop_times = None
         if message.src != message.dst:
             links = route_links(message.src, message.dst)
             self.total_hops += len(links)
@@ -85,14 +99,49 @@ class MeshNetwork(Component):
                 self.link_bytes_by_kind.get(message.kind, 0)
                 + message.size_bytes * len(links)
             )
+            if self._tracer is not None:
+                hop_times = []
             for src, dst in links:
                 arrival = self._link(src, dst).transmit(
                     arrival, message.size_bytes, message.is_translation_traffic
                 )
+                if hop_times is not None:
+                    hop_times.append([list(src), list(dst), arrival])
         else:
             arrival += 1
+        if self._tracer is not None:
+            self._trace_send(message, sent_at, arrival, hop_times)
         self.sim.schedule_at(arrival, lambda: handler(message))
         return arrival
+
+    def _trace_send(
+        self, message: Message, sent_at: int, arrival: int, hop_times
+    ) -> None:
+        """Record a message transit plus its per-hop delivery times.
+
+        Messages still carrying a :class:`TranslationRequest` also get an
+        async step event keyed by the request id, stitching the NoC leg
+        into the request's remote-translation span.
+        """
+        kind = message.kind.value
+        args = {
+            "src": list(message.src),
+            "dst": list(message.dst),
+            "bytes": message.size_bytes,
+        }
+        if hop_times:
+            args["hops"] = hop_times
+        self._tracer.complete(
+            sent_at, arrival - sent_at, f"noc.{kind}", cat="noc",
+            track="noc", args=args,
+        )
+        request_id = _request_id_of(message)
+        if request_id is not None:
+            self._tracer.async_instant(
+                sent_at, f"noc.{kind}", cat="translation", track="noc",
+                span_id=request_id,
+                args={"deliver_at": arrival, "hops": len(hop_times or ())},
+            )
 
     # ------------------------------------------------------------------
     # Traffic accounting (§V-D: HDPAT adds only 0.82 % traffic)
@@ -110,6 +159,22 @@ class MeshNetwork(Component):
     def link_wait_cycles(self) -> int:
         """Total contention-induced waiting across all links."""
         return sum(link.total_wait_cycles for link in self._links.values())
+
+    def link_report(self) -> List[Dict[str, object]]:
+        """Per-link traffic/occupancy rows, sorted for stable output."""
+        now = self.sim.now
+        return [
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "messages": link.messages_carried,
+                "bytes": link.bytes_carried,
+                "translation_bytes": link.translation_bytes,
+                "wait_cycles": link.total_wait_cycles,
+                "busy_fraction": link.busy_fraction(now),
+            }
+            for _key, link in sorted(self._links.items())
+        ]
 
     def traffic_report(self) -> Dict[str, Dict[str, int]]:
         """Per-message-kind messages and bytes x hops, plus totals."""

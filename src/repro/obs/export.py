@@ -1,0 +1,156 @@
+"""Trace exporters: JSONL (lossless round-trip) and Chrome trace-event.
+
+Both formats are emitted with sorted keys and fixed separators so a seeded
+run always produces byte-identical files — the determinism tests diff raw
+bytes, and so can you.
+
+The Chrome format loads directly in Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: each hardware unit (``gpm0`` … ``iommu`` … ``noc``)
+appears as one named thread, remote translations as async spans linking
+the requester, the mesh, and the IOMMU.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.obs.trace import TraceEvent, Tracer
+
+_JSON_KW = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _events_of(source: Union[Tracer, Sequence[TraceEvent]]) -> Sequence[TraceEvent]:
+    return source.events if isinstance(source, Tracer) else source
+
+
+# ----------------------------------------------------------------------
+# JSONL — one event per line, lossless
+# ----------------------------------------------------------------------
+def event_to_dict(event: TraceEvent) -> Dict[str, object]:
+    out: Dict[str, object] = {
+        "ts": event.ts,
+        "ph": event.ph,
+        "name": event.name,
+        "cat": event.cat,
+        "track": event.track,
+    }
+    if event.dur:
+        out["dur"] = event.dur
+    if event.span_id is not None:
+        out["id"] = event.span_id
+    if event.args:
+        out["args"] = event.args
+    return out
+
+
+def event_from_dict(record: Dict[str, object]) -> TraceEvent:
+    return TraceEvent(
+        ts=record["ts"],
+        ph=record["ph"],
+        name=record["name"],
+        cat=record["cat"],
+        track=record["track"],
+        dur=record.get("dur", 0),
+        span_id=record.get("id"),
+        args=record.get("args"),
+    )
+
+
+def jsonl_lines(source: Union[Tracer, Sequence[TraceEvent]]) -> Iterable[str]:
+    for event in _events_of(source):
+        yield json.dumps(event_to_dict(event), **_JSON_KW)
+
+
+def write_jsonl(source: Union[Tracer, Sequence[TraceEvent]], path: str) -> int:
+    """Write one JSON object per line; returns the event count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in jsonl_lines(source):
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event format
+# ----------------------------------------------------------------------
+def chrome_trace_events(
+    source: Union[Tracer, Sequence[TraceEvent]]
+) -> List[Dict[str, object]]:
+    """Map events to Chrome trace-event dicts plus thread-name metadata.
+
+    Tracks become threads of one process; cycle timestamps are emitted as
+    the ``ts`` microsecond field unchanged (1 cycle renders as 1 us).
+    """
+    events = _events_of(source)
+    tracks = sorted({event.track for event in events})
+    tids = {track: index for index, track in enumerate(tracks)}
+    out: List[Dict[str, object]] = [
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": tids[track],
+            "name": "thread_name",
+            "args": {"name": track},
+        }
+        for track in tracks
+    ]
+    for event in events:
+        record: Dict[str, object] = {
+            "ph": event.ph,
+            "ts": event.ts,
+            "pid": 0,
+            "tid": tids[event.track],
+            "name": event.name,
+            "cat": event.cat,
+            "args": event.args or {},
+        }
+        if event.ph == "X":
+            record["dur"] = event.dur
+        elif event.ph == "i":
+            record["s"] = "t"  # thread-scoped instant
+        elif event.ph == "C":
+            record["args"] = event.args or {"value": 0}
+        if event.span_id is not None and event.ph in ("b", "n", "e"):
+            record["id"] = format(event.span_id, "x")
+        out.append(record)
+    return out
+
+
+def chrome_trace_json(source: Union[Tracer, Sequence[TraceEvent]]) -> str:
+    payload = {
+        "traceEvents": chrome_trace_events(source),
+        "displayTimeUnit": "ns",
+    }
+    return json.dumps(payload, **_JSON_KW)
+
+
+def write_chrome_trace(
+    source: Union[Tracer, Sequence[TraceEvent]], path: str
+) -> int:
+    """Write a Perfetto/chrome://tracing-loadable JSON file."""
+    events = _events_of(source)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(chrome_trace_json(events))
+    return len(events)
+
+
+def write_trace(
+    source: Union[Tracer, Sequence[TraceEvent]], path: str
+) -> int:
+    """Dispatch on extension: ``.jsonl`` is line-delimited, else Chrome."""
+    if path.endswith(".jsonl"):
+        return write_jsonl(source, path)
+    return write_chrome_trace(source, path)

@@ -1,0 +1,183 @@
+"""Profiling: host-loop wall-clock attribution and the run summary report.
+
+The :class:`HostProfiler` answers "where does the *host Python* spend its
+time" (per event-callback type), which is the lever for making the
+simulator itself faster.  Wall-clock numbers never enter trace payloads —
+they live only in this side report, keeping traces deterministic.
+
+:func:`summarize` renders one run's observability data as a text report:
+top-k latency contributors, per-link utilisation, and per-GPM queue depth
+over time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+_SPARK = " .:-=+*#%@"
+
+
+class HostProfiler:
+    """Aggregates wall-clock seconds per simulator event-callback type."""
+
+    __slots__ = ("seconds", "counts")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    def record(self, key: str, elapsed: float) -> None:
+        self.seconds[key] = self.seconds.get(key, 0.0) + elapsed
+        self.counts[key] = self.counts.get(key, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.seconds.values())
+
+    def report(self, top_k: int = 20) -> List[Dict[str, object]]:
+        """Rows sorted by total seconds, descending (ties by name)."""
+        rows = [
+            {
+                "callback": key,
+                "calls": self.counts[key],
+                "seconds": self.seconds[key],
+                "us_per_call": 1e6 * self.seconds[key] / self.counts[key],
+            }
+            for key in self.seconds
+        ]
+        rows.sort(key=lambda row: (-row["seconds"], row["callback"]))
+        return rows[:top_k]
+
+
+def callback_key(callback) -> str:
+    """Stable grouping key for an event callback (its qualified name)."""
+    key = getattr(callback, "__qualname__", None)
+    if key is None:  # pragma: no cover - exotic callables
+        key = type(callback).__name__
+    return key
+
+
+# ----------------------------------------------------------------------
+# Run summary
+# ----------------------------------------------------------------------
+def _sparkline(values: List[float], width: int = 40) -> str:
+    if not values:
+        return ""
+    if len(values) > width:
+        stride = len(values) / width
+        values = [values[int(index * stride)] for index in range(width)]
+    peak = max(values)
+    if peak <= 0:
+        return _SPARK[0] * len(values)
+    scale = len(_SPARK) - 1
+    return "".join(_SPARK[round(value / peak * scale)] for value in values)
+
+
+def summarize(result, obs=None, top_k: int = 10) -> str:
+    """Render a profiling report for one completed run.
+
+    ``result`` is a :class:`repro.system.result.RunResult`; ``obs`` is the
+    :class:`repro.obs.Observability` the run was executed with (optional —
+    sections degrade gracefully when a data source was not enabled).
+    """
+    lines: List[str] = [
+        f"== profile: {result.workload} on {result.config_description} ==",
+        f"execution: {result.exec_cycles:,} cycles"
+        + ("  [TRUNCATED]" if result.extras.get("truncated") else ""),
+    ]
+
+    lines += _latency_section(result, obs, top_k)
+    lines += _link_section(result, top_k)
+    lines += _queue_depth_section(obs)
+    lines += _host_profile_section(result, top_k)
+    return "\n".join(lines)
+
+
+def _latency_section(result, obs, top_k: int) -> List[str]:
+    lines = ["-- top latency contributors (cycles) --"]
+    tracer = getattr(obs, "tracer", None)
+    if tracer is not None and tracer.enabled and tracer.events:
+        spans = tracer.async_spans(name="remote_translation")
+        if spans:
+            by_server: Dict[str, List[int]] = {}
+            for span in spans:
+                served = span.end_args.get("served_by", "?")
+                by_server.setdefault(served, []).append(span.duration)
+            rows = sorted(
+                by_server.items(),
+                key=lambda item: -sum(item[1]),
+            )
+            lines.append(
+                f"  remote translations: {len(spans)} spans traced"
+            )
+            for served, durations in rows[:top_k]:
+                total = sum(durations)
+                lines.append(
+                    f"    served_by={served:<10} n={len(durations):<7} "
+                    f"total={total:<12,} mean={total / len(durations):,.0f}"
+                )
+        totals: Dict[str, List[int]] = {}
+        for event in tracer.events:
+            if event.ph == "X":
+                totals.setdefault(event.name, []).append(event.dur)
+        for name, durs in sorted(totals.items(), key=lambda kv: -sum(kv[1]))[:top_k]:
+            lines.append(
+                f"    {name:<21} n={len(durs):<7} total={sum(durs):<12,} "
+                f"mean={sum(durs) / len(durs):,.0f}"
+            )
+    if len(lines) == 1:
+        # No trace: fall back to the IOMMU latency means every run records.
+        for phase, mean in result.latency_breakdown.items():
+            share = result.latency_percent.get(phase, 0.0)
+            lines.append(f"    iommu.{phase:<15} mean={mean:>10,.0f}  ({share:.1f}%)")
+    return lines
+
+
+def _link_section(result, top_k: int) -> List[str]:
+    links = result.extras.get("noc_links")
+    if not links:
+        return []
+    lines = [f"-- hottest NoC links (of {len(links)}) --"]
+    hottest = sorted(
+        links, key=lambda row: (-row["busy_fraction"], row["src"], row["dst"])
+    )[:top_k]
+    for row in hottest:
+        lines.append(
+            f"    {str(row['src']):>8} -> {str(row['dst']):<8} "
+            f"busy={row['busy_fraction']:6.2%}  bytes={row['bytes']:<12,} "
+            f"wait={row['wait_cycles']:,} cyc"
+        )
+    return lines
+
+
+def _queue_depth_section(obs) -> List[str]:
+    registry = getattr(obs, "registry", None)
+    if registry is None or not registry.enabled:
+        return []
+    gauges = registry.gauges_matching(".pending_depth")
+    gauges += registry.gauges_matching("iommu.buffer_pressure")
+    gauges = [gauge for gauge in gauges if gauge.values]
+    if not gauges:
+        return []
+    lines = ["-- queue depth over time (sampled) --"]
+    for gauge in gauges:
+        peak = max(gauge.values)
+        mean = sum(gauge.values) / len(gauge.values)
+        lines.append(
+            f"    {gauge.name:<28} peak={peak:<6g} mean={mean:<8.2f} "
+            f"|{_sparkline(gauge.values)}|"
+        )
+    return lines
+
+
+def _host_profile_section(result, top_k: int) -> List[str]:
+    rows = result.extras.get("host_profile")
+    if not rows:
+        return []
+    lines = ["-- host Python loop (wall clock, per callback type) --"]
+    for row in rows[:top_k]:
+        lines.append(
+            f"    {row['callback']:<48} calls={row['calls']:<9,} "
+            f"{row['seconds']:8.3f}s  {row['us_per_call']:7.1f}us/call"
+        )
+    return lines

@@ -1,0 +1,219 @@
+"""Span-based tracer for translation lifecycles and component activity.
+
+Events carry integer *cycle* timestamps taken from the simulator clock —
+never wall-clock time — so two seeded runs of the same workload produce
+byte-identical traces.  Phases follow the Chrome trace-event vocabulary so
+export (:mod:`repro.obs.export`) is a direct mapping:
+
+=====  =============================================================
+``X``  complete event with a duration (an IOMMU walk, a NoC transit)
+``i``  instant event on one track (a TLB miss at a GPM)
+``B``  begin of a nested synchronous span (stack-disciplined per track)
+``E``  end of the innermost open span on a track
+``b``  begin of an async span identified by ``span_id``
+``n``  instant within an async span (a hop, an arrival, a response)
+``e``  end of an async span
+``C``  counter sample (queue depth over time)
+=====  =============================================================
+
+Async span ids are *aliased*: the first externally supplied id becomes 0,
+the next 1, and so on.  Request ids come from a process-global counter, so
+without aliasing a second run in the same process would trace different
+ids and break trace determinism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ObservabilityError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured trace record (Chrome trace-event phase vocabulary)."""
+
+    ts: int
+    ph: str
+    name: str
+    cat: str
+    track: str
+    dur: int = 0
+    span_id: Optional[int] = None
+    args: Optional[dict] = None
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in deterministic order."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.events: List[TraceEvent] = []
+        self._span_alias: Dict[int, int] = {}
+        self._stacks: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _alias(self, span_id: int) -> int:
+        """Map an external id to a dense, per-tracer deterministic id."""
+        alias = self._span_alias.get(span_id)
+        if alias is None:
+            alias = len(self._span_alias)
+            self._span_alias[span_id] = alias
+        return alias
+
+    def _record(
+        self,
+        ts: int,
+        ph: str,
+        name: str,
+        cat: str,
+        track: str,
+        dur: int = 0,
+        span_id: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        if span_id is not None:
+            span_id = self._alias(span_id)
+        self.events.append(
+            TraceEvent(int(ts), ph, name, cat, track, int(dur), span_id, args)
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._span_alias.clear()
+        self._stacks.clear()
+
+    # ------------------------------------------------------------------
+    # Point and duration events
+    # ------------------------------------------------------------------
+    def instant(
+        self, ts: int, name: str, cat: str = "event", track: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        self._record(ts, "i", name, cat, track, args=args)
+
+    def complete(
+        self, ts: int, dur: int, name: str, cat: str = "event",
+        track: str = "sim", span_id: Optional[int] = None,
+        args: Optional[dict] = None,
+    ) -> None:
+        self._record(ts, "X", name, cat, track, dur=dur, span_id=span_id,
+                     args=args)
+
+    def counter(self, ts: int, name: str, track: str, value: float) -> None:
+        self._record(ts, "C", name, "counter", track,
+                     args={"value": value})
+
+    # ------------------------------------------------------------------
+    # Nested synchronous spans (stack-disciplined per track)
+    # ------------------------------------------------------------------
+    def begin_span(
+        self, ts: int, name: str, cat: str = "span", track: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        self._stacks.setdefault(track, []).append(name)
+        self._record(ts, "B", name, cat, track, args=args)
+
+    def end_span(
+        self, ts: int, name: Optional[str] = None, track: str = "sim",
+        args: Optional[dict] = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        stack = self._stacks.get(track)
+        if not stack:
+            raise ObservabilityError(
+                f"end_span on track {track!r} with no open span"
+            )
+        open_name = stack[-1]
+        if name is not None and name != open_name:
+            raise ObservabilityError(
+                f"end_span({name!r}) on track {track!r} but innermost open "
+                f"span is {open_name!r}"
+            )
+        stack.pop()
+        self._record(ts, "E", open_name, "span", track, args=args)
+
+    def open_spans(self, track: str = "sim") -> List[str]:
+        """Names of still-open synchronous spans, outermost first."""
+        return list(self._stacks.get(track, []))
+
+    # ------------------------------------------------------------------
+    # Async spans (cross-component lifecycles keyed by span_id)
+    # ------------------------------------------------------------------
+    def async_begin(
+        self, ts: int, name: str, cat: str, track: str, span_id: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self._record(ts, "b", name, cat, track, span_id=span_id, args=args)
+
+    def async_instant(
+        self, ts: int, name: str, cat: str, track: str, span_id: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self._record(ts, "n", name, cat, track, span_id=span_id, args=args)
+
+    def async_end(
+        self, ts: int, name: str, cat: str, track: str, span_id: int,
+        args: Optional[dict] = None,
+    ) -> None:
+        self._record(ts, "e", name, cat, track, span_id=span_id, args=args)
+
+    # ------------------------------------------------------------------
+    # Analysis helpers
+    # ------------------------------------------------------------------
+    def async_spans(self, name: Optional[str] = None) -> List["AsyncSpan"]:
+        """Pair ``b``/``e`` events by span id into completed spans."""
+        open_spans: Dict[int, AsyncSpan] = {}
+        done: List[AsyncSpan] = []
+        for event in self.events:
+            if event.span_id is None:
+                continue
+            if event.ph == "b":
+                open_spans[event.span_id] = AsyncSpan(
+                    span_id=event.span_id, name=event.name,
+                    track=event.track, begin_ts=event.ts,
+                    begin_args=event.args or {},
+                )
+            elif event.span_id in open_spans:
+                span = open_spans[event.span_id]
+                if event.ph == "n":
+                    span.steps.append(event)
+                elif event.ph == "e":
+                    span.end_ts = event.ts
+                    span.end_args = event.args or {}
+                    done.append(open_spans.pop(event.span_id))
+        if name is not None:
+            done = [span for span in done if span.name == name]
+        return done
+
+
+@dataclass
+class AsyncSpan:
+    """A completed async span with its intermediate step events."""
+
+    span_id: int
+    name: str
+    track: str
+    begin_ts: int
+    begin_args: dict
+    end_ts: int = -1
+    end_args: dict = field(default_factory=dict)
+    steps: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def duration(self) -> int:
+        return self.end_ts - self.begin_ts
+
+    def step_names(self) -> List[str]:
+        return [event.name for event in self.steps]

@@ -9,6 +9,7 @@ which keeps every run reproducible for a fixed seed.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -29,13 +30,20 @@ class Simulator:
     [10]
     """
 
-    def __init__(self, max_cycles: Optional[int] = None) -> None:
+    def __init__(
+        self, max_cycles: Optional[int] = None, profiler=None
+    ) -> None:
         self.now: int = 0
         self.max_cycles = max_cycles
         self._queue: List[Tuple[int, int, Callback]] = []
         self._sequence = 0
         self._events_processed = 0
+        self._dropped_events = 0
         self._running = False
+        #: Optional host wall-clock profiler (duck-typed: ``record(key, s)``,
+        #: see :class:`repro.obs.profile.HostProfiler`).  When attached,
+        #: :meth:`run` times every callback by its qualified name.
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -59,16 +67,41 @@ class Simulator:
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
-        """Process the next event.  Returns False when the queue is empty."""
+        """Process the next event.  Returns False when the queue is empty.
+
+        Hitting ``max_cycles`` discards the popped event and everything
+        still queued; the count of discarded events is recorded in
+        :attr:`dropped_events` so callers can tell a drained run from a
+        truncated one (see :attr:`truncated`).
+        """
         if not self._queue:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
         if self.max_cycles is not None and time > self.max_cycles:
+            self._dropped_events += 1 + len(self._queue)
             self._queue.clear()
             return False
         self.now = time
         self._events_processed += 1
         callback()
+        return True
+
+    def _step_profiled(self) -> bool:
+        """:meth:`step` with per-callback wall-clock attribution."""
+        if not self._queue:
+            return False
+        time, _seq, callback = heapq.heappop(self._queue)
+        if self.max_cycles is not None and time > self.max_cycles:
+            self._dropped_events += 1 + len(self._queue)
+            self._queue.clear()
+            return False
+        self.now = time
+        self._events_processed += 1
+        start = perf_counter()
+        callback()
+        elapsed = perf_counter() - start
+        key = getattr(callback, "__qualname__", None) or type(callback).__name__
+        self.profiler.record(key, elapsed)
         return True
 
     def run(self) -> int:
@@ -77,8 +110,12 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         try:
-            while self.step():
-                pass
+            if self.profiler is not None:
+                while self._step_profiled():
+                    pass
+            else:
+                while self.step():
+                    pass
         finally:
             self._running = False
         return self.now
@@ -107,8 +144,19 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
+    @property
+    def dropped_events(self) -> int:
+        """Events discarded because they were scheduled past ``max_cycles``."""
+        return self._dropped_events
+
+    @property
+    def truncated(self) -> bool:
+        """True when the run was cut off rather than drained."""
+        return self._dropped_events > 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Simulator(now={self.now}, pending={self.pending_events}, "
-            f"processed={self.events_processed})"
+            f"processed={self.events_processed}, "
+            f"dropped={self.dropped_events})"
         )

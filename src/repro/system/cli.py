@@ -6,6 +6,12 @@ result — the quickest way to poke at the system without writing a script:
     python -m repro.system spmv --hdpat --scale 0.1
     python -m repro.system pr --mesh 7x12 --ablation redirection --json
     python -m repro.system mt --page-size 65536 --gpu h100
+    python -m repro.system run --workload fir --trace out.json
+
+``run`` is an optional leading verb; ``--workload`` is an alias for the
+positional benchmark name.  ``--trace`` writes a Chrome trace-event file
+(or JSONL when the path ends in ``.jsonl``), ``--metrics-out`` dumps the
+metrics-registry snapshot, and ``--profile`` prints the profiling report.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from repro.config.hdpat import HDPATConfig
 from repro.config.presets import gpm_preset, gpm_preset_names
 from repro.config.scaling import capacity_scaled
 from repro.config.system import SystemConfig
+from repro.obs import DEFAULT_SAMPLE_PERIOD, Observability, summarize
+from repro.obs.export import write_trace
 from repro.system.runner import run_benchmark
 from repro.workloads.registry import BENCHMARK_NAMES
 
@@ -28,7 +36,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.system",
         description="Run one benchmark on one wafer configuration.",
     )
-    parser.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    parser.add_argument("benchmark", nargs="?", choices=BENCHMARK_NAMES)
+    parser.add_argument(
+        "--workload", default=None, choices=BENCHMARK_NAMES,
+        help="benchmark name (alias for the positional argument)",
+    )
     parser.add_argument(
         "--mesh", default="7x7", help="mesh as WxH (default %(default)s)"
     )
@@ -53,16 +65,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep Table I capacities despite the reduced workload scale",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
+    obs_group = parser.add_argument_group("observability")
+    obs_group.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a translation-lifecycle trace; Chrome trace-event "
+             "JSON, or JSONL when PATH ends in .jsonl",
+    )
+    obs_group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics-registry snapshot as JSON",
+    )
+    obs_group.add_argument(
+        "--profile", action="store_true",
+        help="time host-side event callbacks and print a profiling report",
+    )
+    obs_group.add_argument(
+        "--sample-period", type=int, default=DEFAULT_SAMPLE_PERIOD,
+        help="cycles between queue-depth samples (default %(default)s)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "run":
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
+    if args.benchmark and args.workload and args.benchmark != args.workload:
+        print(
+            f"error: benchmark given twice ({args.benchmark!r} vs "
+            f"--workload {args.workload!r})",
+            file=sys.stderr,
+        )
+        return 2
+    benchmark = args.benchmark or args.workload
+    if benchmark is None:
+        print("error: no benchmark given (positional name or --workload)",
+              file=sys.stderr)
+        return 2
     try:
         width, height = (int(part) for part in args.mesh.lower().split("x"))
     except ValueError:
         print(f"error: --mesh must look like 7x7, got {args.mesh!r}",
               file=sys.stderr)
+        return 2
+    if args.sample_period <= 0:
+        print(f"error: --sample-period must be positive, "
+              f"got {args.sample_period}", file=sys.stderr)
         return 2
     if args.hdpat:
         hdpat = HDPATConfig.full()
@@ -80,22 +130,60 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if not args.no_capacity_scaling:
         config = capacity_scaled(config, args.scale)
+    # Fail on unwritable output paths before burning simulation time.
+    for out_path in (args.trace, args.metrics_out):
+        if out_path:
+            try:
+                with open(out_path, "a", encoding="utf-8"):
+                    pass
+            except OSError as exc:
+                print(f"error: cannot write {out_path!r}: {exc}",
+                      file=sys.stderr)
+                return 2
+    obs = None
+    if args.trace or args.metrics_out or args.profile:
+        obs = Observability(
+            metrics=args.metrics_out is not None,
+            trace=args.trace is not None,
+            profile=args.profile,
+            sample_period=args.sample_period,
+        )
     result = run_benchmark(
-        config, args.benchmark, scale=args.scale, seed=args.seed
+        config, benchmark, scale=args.scale, seed=args.seed, obs=obs
     )
+    notice = sys.stderr if args.json else sys.stdout
+    if args.trace:
+        count = write_trace(obs.tracer.events, args.trace)
+        print(f"trace: {count} events -> {args.trace}", file=notice)
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(result.extras.get("metrics", {}), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"metrics: snapshot -> {args.metrics_out}", file=notice)
+    if result.truncated:
+        print(
+            f"warning: run truncated; "
+            f"{result.extras.get('dropped_events', 0)} events dropped",
+            file=sys.stderr,
+        )
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
-        return 0
-    print(f"{result.workload.upper()} on {result.config_description}")
-    print(f"  execution: {result.exec_cycles:,} cycles ({result.exec_ms:.3f} ms)")
-    print(f"  accesses:  {result.total_accesses:,} "
-          f"(local translations: {result.local_fraction():.1%})")
-    print(f"  IOMMU:     {result.iommu_requests:,} requests, "
-          f"{result.iommu_walks:,} walks, {result.iommu_redirects:,} redirects")
-    breakdown = result.remote_breakdown()
-    print("  remote served by: "
-          + ", ".join(f"{k} {v:.1%}" for k, v in breakdown.items()))
-    print(f"  mean remote RTT: {result.mean_rtt:,.0f} cycles")
+    else:
+        print(f"{result.workload.upper()} on {result.config_description}")
+        print(f"  execution: {result.exec_cycles:,} cycles "
+              f"({result.exec_ms:.3f} ms)")
+        print(f"  accesses:  {result.total_accesses:,} "
+              f"(local translations: {result.local_fraction():.1%})")
+        print(f"  IOMMU:     {result.iommu_requests:,} requests, "
+              f"{result.iommu_walks:,} walks, "
+              f"{result.iommu_redirects:,} redirects")
+        breakdown = result.remote_breakdown()
+        print("  remote served by: "
+              + ", ".join(f"{k} {v:.1%}" for k, v in breakdown.items()))
+        print(f"  mean remote RTT: {result.mean_rtt:,.0f} cycles")
+    if args.profile:
+        print(summarize(result, obs=obs), file=notice)
     return 0
 
 

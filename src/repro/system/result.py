@@ -83,10 +83,29 @@ class RunResult:
         return local / total if total else 0.0
 
     def prefetch_accuracy(self) -> float:
-        """Prefetched PTEs that served a demand translation, over pushed."""
+        """Prefetched PTEs that served a demand translation, over pushed.
+
+        Clamped to 1.0 for the figures; :meth:`prefetch_accuracy_raw`
+        exposes the unclamped ratio so accounting bugs (hits > pushes)
+        stay visible — the runner warns when it exceeds 1.0.
+        """
         if not self.prefetch_pushed:
             return 0.0
         return min(1.0, self.served(ServedBy.PROACTIVE) / self.prefetch_pushed)
+
+    def prefetch_accuracy_raw(self) -> float:
+        """Unclamped proactive-hits / pushed-PTEs ratio (may exceed 1.0)."""
+        raw = self.extras.get("prefetch_accuracy_raw")
+        if raw is not None:
+            return raw
+        if not self.prefetch_pushed:
+            return 0.0
+        return self.served(ServedBy.PROACTIVE) / self.prefetch_pushed
+
+    @property
+    def truncated(self) -> bool:
+        """True when the run hit ``max_cycles`` and dropped pending events."""
+        return bool(self.extras.get("truncated", False))
 
     def gpm_finish_ms(self) -> List[float]:
         return [cycles_to_ms(cycles) for cycles in self.per_gpm_finish]
@@ -118,7 +137,9 @@ class RunResult:
                 "latency_percent": self.latency_percent,
                 "prefetch_pushed": self.prefetch_pushed,
                 "prefetch_accuracy": self.prefetch_accuracy(),
+                "prefetch_accuracy_raw": self.prefetch_accuracy_raw(),
             },
+            "truncated": self.truncated,
             "network": {
                 "total_link_bytes": self.total_link_bytes,
                 "translation_link_bytes": self.translation_link_bytes,

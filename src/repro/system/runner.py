@@ -7,11 +7,15 @@ traces to completion, and package a :class:`RunResult`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Union
 
 from repro.config.system import SystemConfig
 from repro.core.policy import TranslationPolicy
+from repro.core.request import ServedBy
+from repro.errors import AccountingWarning, TruncationWarning
 from repro.mem.allocator import PageAllocator
+from repro.obs import Observability
 from repro.stats.timeseries import PeriodicSampler, TimeSeries
 from repro.system.result import RunResult
 from repro.system.wafer import WaferScaleGPU
@@ -27,17 +31,20 @@ def run_benchmark(
     policy: Optional[TranslationPolicy] = None,
     sample_buffer_every: Optional[int] = None,
     max_cycles: Optional[int] = None,
+    obs: Optional[Observability] = None,
 ) -> RunResult:
     """Run one benchmark on one configuration and return its results.
 
     ``scale`` shrinks the workload (accesses and footprint together);
     ``sample_buffer_every`` attaches a periodic IOMMU buffer-pressure
     sampler (Figure 4); ``policy`` overrides the config-derived policy
-    (used for the SOTA baselines).
+    (used for the SOTA baselines); ``obs`` attaches a fresh
+    :class:`~repro.obs.Observability` whose metrics snapshot lands in
+    ``RunResult.extras["metrics"]``.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    wafer = WaferScaleGPU(config, policy=policy)
+    wafer = WaferScaleGPU(config, policy=policy, obs=obs)
     allocator = PageAllocator(wafer.address_space, wafer.num_gpms)
     trace = workload.generate(
         num_gpms=wafer.num_gpms,
@@ -63,6 +70,19 @@ def run_benchmark(
     return collect_result(wafer, trace, buffer_series)
 
 
+def _prefetch_accuracy_raw(proactive_hits: int, prefetch_pushed: int) -> float:
+    """Unclamped proactive-hits / pushed-PTEs ratio.
+
+    Figures keep using the clamped :meth:`RunResult.prefetch_accuracy`; a
+    raw value above 1.0 means accounting went wrong (more demand hits
+    attributed to prefetched PTEs than PTEs were ever pushed) and must
+    surface rather than be masked by the clamp.
+    """
+    if not prefetch_pushed:
+        return 0.0
+    return proactive_hits / prefetch_pushed
+
+
 def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult:
     """Assemble a :class:`RunResult` from a completed wafer run."""
     served_totals = {}
@@ -76,6 +96,38 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         rtt_sum += gpm.rtt_sum
         rtt_count += gpm.rtt_count
     iommu = wafer.iommu
+    obs = wafer.obs
+    sim = wafer.sim
+    if sim.truncated:
+        obs.registry.counter("warnings.truncated_events").inc(
+            sim.dropped_events
+        )
+        warnings.warn(
+            f"{trace.name}: run truncated at max_cycles={sim.max_cycles}; "
+            f"{sim.dropped_events} pending events dropped — aggregates "
+            f"undercount the full execution",
+            TruncationWarning,
+            stacklevel=2,
+        )
+    prefetch_raw = _prefetch_accuracy_raw(
+        served_totals.get(ServedBy.PROACTIVE, 0), iommu.prefetch_pushed
+    )
+    if prefetch_raw > 1.0:
+        obs.registry.counter("warnings.prefetch_accuracy_overflow").inc()
+        warnings.warn(
+            f"{trace.name}: raw prefetch accuracy {prefetch_raw:.3f} > 1.0 "
+            f"(proactive hits exceed pushed PTEs) — accounting bug",
+            AccountingWarning,
+            stacklevel=2,
+        )
+    obs_extras = {}
+    if obs.enabled:
+        obs_extras["metrics"] = wafer.collect_metrics()
+        obs_extras["noc_links"] = wafer.network.link_report()
+        if obs.profiler is not None:
+            obs_extras["host_profile"] = obs.profiler.report()
+        if obs.tracer.enabled:
+            obs_extras["trace_events"] = len(obs.tracer.events)
     return RunResult(
         workload=trace.name,
         config_description=wafer.config.describe(),
@@ -98,7 +150,11 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         buffer_series=buffer_series,
         extras={
             "all_finished": wafer.all_finished,
+            "truncated": sim.truncated,
+            "dropped_events": sim.dropped_events,
+            "prefetch_accuracy_raw": prefetch_raw,
             "traffic_by_kind": wafer.network.traffic_report(),
+            **obs_extras,
             "migration": (
                 {
                     "migrations": wafer.migration.migration_stats.migrations,

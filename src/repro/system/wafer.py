@@ -20,6 +20,7 @@ from repro.mem.address import AddressSpace
 from repro.mem.page import PageTableEntry
 from repro.noc.network import MeshNetwork
 from repro.noc.topology import MeshTopology
+from repro.obs import NULL_OBS, Observability
 from repro.sim.engine import Simulator
 
 Coordinate = Tuple[int, int]
@@ -32,15 +33,18 @@ class WaferScaleGPU:
         self,
         config: SystemConfig,
         policy: Optional[TranslationPolicy] = None,
+        obs: Optional[Observability] = None,
     ) -> None:
         self.config = config
-        self.sim = Simulator()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.sim = Simulator(profiler=self.obs.profiler)
         self.topology = MeshTopology(config.mesh_width, config.mesh_height)
         self.network = MeshNetwork(
             self.sim,
             self.topology,
             link_latency=config.noc.link_latency,
             link_bandwidth_bytes_per_sec=config.noc.link_bandwidth,
+            obs=self.obs,
         )
         self.address_space = AddressSpace(config.page_size)
         effective_layers = min(
@@ -60,6 +64,7 @@ class WaferScaleGPU:
             iommu_config,
             config.hdpat,
             self.network,
+            obs=self.obs,
         )
         self.gpms: List[GPM] = []
         self._gpm_id_at: Dict[Coordinate, int] = {}
@@ -71,6 +76,7 @@ class WaferScaleGPU:
                 config.gpm,
                 self.address_space,
                 self.network,
+                obs=self.obs,
             )
             gpm.policy = self.policy
             gpm.iommu_coord = self.topology.cpu_coordinate
@@ -90,6 +96,46 @@ class WaferScaleGPU:
             self.migration = MigrationEngine(self.sim, self, config.migration)
             self.iommu.migration = self.migration
         self._finished = 0
+        self._metrics_collected = False
+        if self.obs.registry.enabled or self.obs.tracer.enabled:
+            self._attach_depth_samplers()
+
+    def _attach_depth_samplers(self) -> None:
+        """Sample per-GPM outstanding-miss depth and IOMMU buffer pressure.
+
+        Samples land in registry gauges (and, when tracing, as Chrome
+        counter events) every ``obs.sample_period`` cycles.  All probes
+        share ONE scheduled event: independent samplers would each see the
+        others pending in the queue and reschedule forever, keeping the
+        simulation alive after the workload drains.
+        """
+        tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        period = self.obs.sample_period
+        probes = [
+            (
+                f"{gpm.name}.pending_depth",
+                (lambda g=gpm: len(g._pending)),
+                self.obs.registry.gauge(f"{gpm.name}.pending_depth"),
+            )
+            for gpm in self.gpms
+        ]
+        probes.append((
+            "iommu.buffer_pressure",
+            self.iommu.buffer_pressure,
+            self.obs.registry.gauge("iommu.buffer_pressure"),
+        ))
+
+        def _tick() -> None:
+            now = self.sim.now
+            for name, probe, gauge in probes:
+                value = probe()
+                gauge.sample(now, value)
+                if tracer is not None:
+                    tracer.counter(now, name, track="depth", value=value)
+            if self.sim.pending_events:
+                self.sim.schedule(period, _tick)
+
+        self.sim.schedule(period, _tick)
 
     # ------------------------------------------------------------------
     # Lookup
@@ -148,3 +194,43 @@ class WaferScaleGPU:
         """Wall-clock of the slowest GPM (the workload's makespan)."""
         times = [g.finish_time for g in self.gpms if g.finish_time is not None]
         return max(times) if times else self.sim.now
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def collect_metrics(self) -> Dict[str, object]:
+        """Fold every component's counters into the registry; snapshot it.
+
+        Pull-based: plain ``Component.stats`` dicts cost nothing during the
+        run and are merged once here, so the registry sees the same
+        counters the result assembly reads, plus anything components
+        pushed live (histograms, sampled gauges).  Idempotent.
+        """
+        registry = self.obs.registry
+        if registry.enabled and not self._metrics_collected:
+            self._metrics_collected = True
+            for gpm in self.gpms:
+                registry.merge_stats(gpm.name, gpm.stats)
+                hierarchy = gpm.hierarchy
+                registry.merge_stats(f"{gpm.name}.filter", {
+                    "false_positives": hierarchy.false_positives,
+                    "negatives": hierarchy.filter_negatives,
+                    "remote_cached_vpns": hierarchy.remote_cached_vpns,
+                })
+                for level, tlb in hierarchy.tlb_levels().items():
+                    registry.merge_stats(f"{gpm.name}.tlb.{level}", tlb.stats)
+            registry.merge_stats("iommu", self.iommu.stats)
+            registry.merge_stats("iommu.walkers", self.iommu.walkers.stats)
+            registry.merge_stats("iommu.front", self.iommu.front.stats)
+            registry.merge_stats("noc", {
+                "messages_sent": self.network.messages_sent,
+                "total_hops": self.network.total_hops,
+                "link_wait_cycles": self.network.link_wait_cycles(),
+                "total_link_bytes": self.network.total_link_bytes(),
+            })
+            registry.merge_stats("sim", {
+                "events_processed": self.sim.events_processed,
+                "dropped_events": self.sim.dropped_events,
+                "final_cycle": self.sim.now,
+            })
+        return registry.snapshot()

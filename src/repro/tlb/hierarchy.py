@@ -161,6 +161,16 @@ class TranslationHierarchy:
                 self.cuckoo.delete(evicted_vpn)
         return True
 
+    def tlb_levels(self) -> dict:
+        """Named TLB levels, for per-level metrics export."""
+        return {
+            "l1v": self.l1_vector,
+            "l1s": self.l1_scalar,
+            "l1i": self.l1_inst,
+            "l2tlb": self.l2,
+            "llt": self.llt,
+        }
+
     def complete_local_walk(self, vpn: int) -> Optional[PageTableEntry]:
         """Finish a GMMU walk: read the local page table and fill caches.
 

@@ -100,6 +100,15 @@ class SetAssociativeTLB:
         total = self.accesses
         return self.hits / total if total else 0.0
 
+    @property
+    def stats(self) -> dict:
+        """Counter-style export for the metrics registry."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "occupancy": self.occupancy,
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"SetAssociativeTLB({self.name!r}, {self.num_sets}x{self.num_ways}, "

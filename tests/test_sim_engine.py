@@ -96,6 +96,34 @@ class TestExecution:
         sim.run()
         assert fired == [10]
 
+    def test_max_cycles_counts_dropped_events(self):
+        sim = Simulator(max_cycles=50)
+        sim.schedule(10, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.schedule(200, lambda: None)
+        sim.schedule(300, lambda: None)
+        sim.run()
+        assert sim.truncated
+        assert sim.dropped_events == 3
+
+    def test_untruncated_run_reports_no_drops(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert not sim.truncated
+        assert sim.dropped_events == 0
+
+    def test_profiler_records_callback_timings(self):
+        from repro.obs import HostProfiler
+
+        profiler = HostProfiler()
+        sim = Simulator(profiler=profiler)
+        fired = []
+        sim.schedule(5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5]
+        assert sum(profiler.counts.values()) == 1
+        assert profiler.total_seconds >= 0.0
+
     def test_nested_run_rejected(self, sim):
         sim.schedule(1, lambda: sim.run())
         with pytest.raises(SimulationError):

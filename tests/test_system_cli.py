@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.obs.export import read_jsonl
 from repro.system.cli import build_parser, main
 
 
@@ -64,3 +65,80 @@ class TestMain:
             "aes", "--mesh", "3x3", "--scale", "0.02",
             "--no-capacity-scaling",
         ]) == 0
+
+
+class TestRunVerbAndWorkloadAlias:
+    def test_run_verb_with_workload_flag(self, capsys):
+        assert main([
+            "run", "--workload", "aes", "--mesh", "3x3", "--scale", "0.02",
+        ]) == 0
+        assert "AES on" in capsys.readouterr().out
+
+    def test_missing_benchmark_errors(self, capsys):
+        assert main(["--mesh", "3x3"]) == 2
+        assert "no benchmark" in capsys.readouterr().err
+
+    def test_conflicting_names_error(self, capsys):
+        assert main(["aes", "--workload", "pr"]) == 2
+        assert "twice" in capsys.readouterr().err
+
+    def test_positional_and_matching_workload_ok(self, capsys):
+        assert main([
+            "aes", "--workload", "aes", "--mesh", "3x3", "--scale", "0.02",
+        ]) == 0
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_chrome_file(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        assert main([
+            "run", "--workload", "aes", "--mesh", "3x3", "--scale", "0.02",
+            "--trace", str(trace_path),
+        ]) == 0
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert any(event["ph"] == "M" for event in events)
+        begun = {e["id"] for e in events
+                 if e["ph"] == "b" and e["name"] == "remote_translation"}
+        ended = {e["id"] for e in events
+                 if e["ph"] == "e" and e["name"] == "remote_translation"}
+        assert begun & ended, "no complete remote_translation span traced"
+
+    def test_trace_jsonl_extension(self, tmp_path):
+        trace_path = tmp_path / "out.jsonl"
+        assert main([
+            "run", "--workload", "aes", "--mesh", "3x3", "--scale", "0.02",
+            "--trace", str(trace_path),
+        ]) == 0
+        events = read_jsonl(str(trace_path))
+        assert events
+        assert all(isinstance(event.ts, int) for event in events)
+
+    def test_metrics_out_snapshot(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        assert main([
+            "aes", "--mesh", "3x3", "--scale", "0.02",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        snapshot = json.loads(metrics_path.read_text())
+        assert "iommu" in snapshot
+        assert "sim" in snapshot
+
+    def test_profile_prints_report(self, capsys):
+        assert main([
+            "aes", "--mesh", "3x3", "--scale", "0.02", "--profile",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== profile:" in out
+        assert "host Python loop" in out
+
+    def test_json_stdout_stays_pure_with_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.json"
+        assert main([
+            "aes", "--mesh", "3x3", "--scale", "0.02", "--json",
+            "--trace", str(trace_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["workload"] == "aes"
+        assert "trace:" in captured.err
