@@ -5,8 +5,11 @@ shares baseline runs across figures (fig02/14/15/16/17/18 all normalise to
 the same baseline executions).
 """
 
+import os
+
 import pytest
 
+from repro.exec import SweepExecutor
 from repro.experiments.common import RunCache
 
 #: Common workload scale for the bench suite.  The CLI
@@ -19,6 +22,14 @@ BENCH_SEED = 42
 
 @pytest.fixture(scope="session")
 def cache():
+    # HDPAT_BENCH_JOBS=N shards each figure's job grid across N worker
+    # processes (HDPAT_BENCH_CACHE_DIR adds the disk cache).  Default is
+    # the historical serial, uncached run so benchmark timings stay
+    # comparable across commits.
+    jobs = int(os.environ.get("HDPAT_BENCH_JOBS", "1"))
+    cache_dir = os.environ.get("HDPAT_BENCH_CACHE_DIR") or None
+    if jobs > 1 or cache_dir:
+        return RunCache(executor=SweepExecutor(jobs=jobs, cache_dir=cache_dir))
     return RunCache()
 
 

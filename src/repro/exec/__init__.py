@@ -1,0 +1,31 @@
+"""repro.exec — parallel, cached experiment execution.
+
+The execution substrate for the figure harnesses and ad-hoc sweeps:
+picklable :class:`RunJob` descriptions, a content-addressed on-disk
+:class:`DiskResultCache` (L2 under ``RunCache``'s in-memory L1), and the
+:class:`SweepExecutor` that shards jobs across a process pool with
+timeout/retry robustness and ``sweep.jobs.*`` progress metrics.
+
+See docs/EXECUTION.md for the cache-key composition and CLI examples.
+"""
+
+from repro.exec.diskcache import DiskResultCache
+from repro.exec.executor import SweepExecutor, default_jobs
+from repro.exec.jobs import (
+    CACHE_SCHEMA,
+    JobFailure,
+    RunJob,
+    execute_job,
+    make_job,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DiskResultCache",
+    "JobFailure",
+    "RunJob",
+    "SweepExecutor",
+    "default_jobs",
+    "execute_job",
+    "make_job",
+]

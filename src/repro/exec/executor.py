@@ -1,0 +1,254 @@
+"""The sweep executor: sharded, cached, fault-tolerant benchmark runs.
+
+:class:`SweepExecutor` owns the three concerns the experiment layer
+shouldn't: *where* a job runs (in-process for ``jobs=1``, a
+``ProcessPoolExecutor`` shard otherwise), *whether* it needs to run at all
+(the content-addressed :class:`~repro.exec.diskcache.DiskResultCache` L2),
+and *what happens when it breaks* (per-job timeout, one retry after a
+worker crash, and a structured :class:`~repro.exec.jobs.JobFailure` record
+instead of aborting the sweep).  Progress is published through a
+:class:`~repro.obs.metrics.MetricsRegistry` under ``sweep.jobs.*`` so
+``--metrics-out`` captures queued/done/failed/cache-hit counts and the
+per-job wall-clock histogram.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence
+
+from repro.exec.diskcache import DiskResultCache
+from repro.exec.jobs import JobFailure, RunJob, execute_job, execute_job_timed
+from repro.obs.metrics import MetricsRegistry
+from repro.system.result import RunResult
+
+
+def default_jobs() -> int:
+    """Default shard count: leave one core for the coordinating process."""
+    return max(1, (os.cpu_count() or 2) - 1)
+
+
+class SweepExecutor:
+    """Executes :class:`RunJob` batches across processes with an L2 cache."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache_dir=None,
+        registry: Optional[MetricsRegistry] = None,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.disk = DiskResultCache(cache_dir) if cache_dir else None
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.job_timeout = job_timeout
+        self.retries = max(0, int(retries))
+        self.failures: List[JobFailure] = []
+        reg = self.registry
+        self._queued = reg.counter("sweep.jobs.queued")
+        self._done = reg.counter("sweep.jobs.done")
+        self._failed = reg.counter("sweep.jobs.failed")
+        self._executed = reg.counter("sweep.jobs.executed")
+        self._hit_memory = reg.counter("sweep.jobs.cache_hit_memory")
+        self._hit_disk = reg.counter("sweep.jobs.cache_hit_disk")
+        self._running = reg.gauge("sweep.jobs.running")
+        self._wall = reg.histogram("sweep.job_wall_seconds")
+
+    # ------------------------------------------------------------------
+    # L2 cache
+    # ------------------------------------------------------------------
+    def note_memory_hit(self) -> None:
+        self._hit_memory.inc()
+
+    def lookup(self, job: RunJob) -> Optional[RunResult]:
+        """Disk (L2) lookup.  Rich jobs never read from disk: the JSON
+        round-trip cannot carry their live analyzer/series objects."""
+        if self.disk is None or job.rich:
+            return None
+        result = self.disk.load(job)
+        if result is not None:
+            self._hit_disk.inc()
+        return result
+
+    def store(self, job: RunJob, result: RunResult) -> None:
+        """Persist a freshly computed result (all jobs are storable — a
+        later non-rich request may be served from the JSON)."""
+        if self.disk is not None:
+            self.disk.store(job, result)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_inline(self, job: RunJob, policy_factory=None) -> RunResult:
+        """Execute one job in-process (the ``jobs=1`` / cache-miss path).
+
+        Honours a caller-supplied ``policy_factory`` (which may close over
+        anything); errors propagate to the caller, preserving the
+        historical serial semantics, but are still counted and recorded.
+        """
+        self._queued.inc()
+        self._running.set(1)
+        started = perf_counter()
+        try:
+            if policy_factory is not None:
+                from repro.config.scaling import capacity_scaled
+                from repro.system.runner import run_benchmark
+
+                result = run_benchmark(
+                    capacity_scaled(job.config, job.scale),
+                    job.workload,
+                    scale=job.scale,
+                    seed=job.seed,
+                    policy=policy_factory(),
+                    **dict(job.run_kwargs),
+                )
+            else:
+                result = execute_job(job)
+        except Exception as exc:
+            self._failed.inc()
+            self.failures.append(JobFailure(
+                job=job.describe(),
+                error=repr(exc),
+                attempts=1,
+                wall_seconds=perf_counter() - started,
+            ))
+            raise
+        finally:
+            self._running.set(0)
+        self._executed.inc()
+        self._done.inc()
+        self._wall.observe(perf_counter() - started)
+        return result
+
+    def map(self, jobs: Sequence[RunJob]) -> Dict[int, RunResult]:
+        """Execute a batch; returns ``{index: result}`` for successes.
+
+        Failures never raise: each lands in :attr:`failures` (and the
+        ``sweep.jobs.failed`` counter) so one broken cell cannot abort a
+        hundred-job sweep.  Worker exceptions and pool crashes get
+        ``retries`` extra attempts in a fresh pool; timeouts do not (the
+        stuck worker may still be burning its core).
+        """
+        results: Dict[int, RunResult] = {}
+        if not jobs:
+            return results
+        self._queued.inc(len(jobs))
+        if self.jobs <= 1 or len(jobs) == 1:
+            for index, job in enumerate(jobs):
+                self._attempt_inline(index, job, results)
+            return results
+        pending = list(range(len(jobs)))
+        for attempt in range(1 + self.retries):
+            if not pending:
+                break
+            final = attempt == self.retries
+            pending = self._map_once(jobs, pending, results, attempt + 1, final)
+        return results
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _attempt_inline(self, index, job, results) -> None:
+        started = perf_counter()
+        self._running.set(1)
+        try:
+            result = execute_job(job)
+        except Exception as exc:
+            self._record_failure(job, repr(exc), 1, perf_counter() - started)
+            return
+        finally:
+            self._running.set(0)
+        self._executed.inc()
+        self._done.inc()
+        self._wall.observe(perf_counter() - started)
+        results[index] = result
+
+    def _map_once(
+        self,
+        jobs: Sequence[RunJob],
+        pending: List[int],
+        results: Dict[int, RunResult],
+        attempt: int,
+        final: bool,
+    ) -> List[int]:
+        """One pool pass over ``pending``; returns the indices to retry."""
+        retry: List[int] = []
+        timed_out = False
+        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        try:
+            futures = {
+                index: pool.submit(execute_job_timed, jobs[index])
+                for index in pending
+            }
+            outstanding = len(futures)
+            self._running.set(outstanding)
+            for index, future in futures.items():
+                job = jobs[index]
+                started = perf_counter()
+                try:
+                    result, wall = future.result(timeout=self.job_timeout)
+                except FutureTimeout:
+                    timed_out = True
+                    future.cancel()
+                    self._record_failure(
+                        job,
+                        f"timed out after {self.job_timeout}s",
+                        attempt,
+                        perf_counter() - started,
+                        kind="timeout",
+                    )
+                except BrokenProcessPool as exc:
+                    if final:
+                        self._record_failure(
+                            job, repr(exc), attempt,
+                            perf_counter() - started, kind="crash",
+                        )
+                    else:
+                        retry.append(index)
+                except Exception as exc:
+                    if final:
+                        self._record_failure(
+                            job, repr(exc), attempt, perf_counter() - started
+                        )
+                    else:
+                        retry.append(index)
+                else:
+                    self._executed.inc()
+                    self._done.inc()
+                    self._wall.observe(wall)
+                    results[index] = result
+                outstanding -= 1
+                self._running.set(outstanding)
+        finally:
+            # After a timeout the stuck worker may never exit; don't let
+            # shutdown() wait on it.
+            pool.shutdown(wait=not timed_out, cancel_futures=True)
+            self._running.set(0)
+        return retry
+
+    def _record_failure(
+        self, job, error, attempts, wall_seconds, kind="error"
+    ) -> None:
+        self._failed.inc()
+        self.failures.append(JobFailure(
+            job=job.describe(),
+            error=error,
+            attempts=attempts,
+            wall_seconds=wall_seconds,
+            kind=kind,
+        ))
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, object]:
+        """Metrics tree plus structured failure records."""
+        tree = self.registry.snapshot()
+        tree.setdefault("sweep", {})["failures"] = [
+            failure.to_dict() for failure in self.failures
+        ]
+        return tree

@@ -2,31 +2,43 @@
 
 Usage::
 
-    hdpat-experiments fig14                 # full suite at default scale
-    hdpat-experiments fig15 --scale 0.25    # tighter numbers, slower
+    hdpat-experiments fig14                  # full suite, parallel sweep
+    hdpat-experiments fig14 --jobs 1         # the historical serial path
+    hdpat-experiments fig15 --scale 0.25     # tighter numbers, slower
     hdpat-experiments fig03 --benchmarks spmv
-    hdpat-experiments all                   # everything (long)
+    hdpat-experiments all --cache-dir ~/.hdpat-cache
+    hdpat-experiments sweep --schemes baseline,hdpat,transfw \\
+        --benchmarks aes,spmv --scales 0.05,0.1 --seeds 1,2 --jobs 8
+
+Experiment runs shard their config×workload grids across ``--jobs`` worker
+processes and memoise results in ``--cache-dir`` (content-addressed JSON;
+see docs/EXECUTION.md), so re-running a figure is free and a cold ``all``
+saturates the machine.  ``--metrics-out`` captures the ``sweep.jobs.*``
+progress counters and per-job wall-clock histogram.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
 
+from repro.exec import SweepExecutor, default_jobs
+from repro.experiments import sweep as sweep_module
 from repro.experiments.common import DEFAULT_SCALE, RunCache
 from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="hdpat-experiments",
         description="Regenerate HDPAT paper tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        help=f"experiment id, one of {EXPERIMENT_IDS} or 'all'",
+        help=f"experiment id, one of {EXPERIMENT_IDS}, 'all', or 'sweep'",
     )
     parser.add_argument(
         "--scale",
@@ -45,17 +57,86 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="also append the regenerated tables to this file",
     )
-    args = parser.parse_args(argv)
-
-    ids = EXPERIMENT_IDS if args.experiment.lower() == "all" else [args.experiment]
-    benchmarks = (
-        [b.strip() for b in args.benchmarks.split(",")] if args.benchmarks else None
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for sweep sharding; 1 = serial in-process "
+             "(default: cpu_count - 1)",
     )
-    cache = RunCache()
+    execution.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="content-addressed on-disk result cache shared across runs",
+    )
+    execution.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock limit; a timed-out job becomes a failure "
+             "record instead of hanging the sweep (default: no limit)",
+    )
+    execution.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write the sweep metrics snapshot (queued/done/failed/"
+             "cache-hit counters, wall-clock histogram) as JSON",
+    )
+    grid = parser.add_argument_group("sweep grid (sweep verb only)")
+    grid.add_argument(
+        "--schemes",
+        default=None,
+        help=f"comma-separated schemes from {list(sweep_module.SCHEME_NAMES)} "
+             "(default: baseline,hdpat)",
+    )
+    grid.add_argument(
+        "--scales",
+        default=None,
+        help="comma-separated scale factors (default: --scale)",
+    )
+    grid.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seeds (default: --seed)",
+    )
+    return parser
+
+
+def _split(text: Optional[str]) -> Optional[List[str]]:
+    if text is None:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    benchmarks = _split(args.benchmarks)
+    executor = SweepExecutor(
+        jobs=args.jobs if args.jobs is not None else default_jobs(),
+        cache_dir=args.cache_dir,
+        job_timeout=args.job_timeout,
+    )
+    cache = RunCache(executor=executor)
     sink = open(args.output, "a") if args.output else None
     try:
-        for experiment_id in ids:
-            runner = get_experiment(experiment_id)
+        if args.experiment.lower() == "sweep":
+            runs = [("sweep", lambda **kw: sweep_module.run(
+                schemes=_split(args.schemes),
+                scales=_split(args.scales),
+                seeds=_split(args.seeds),
+                **kw,
+            ))]
+        elif args.experiment.lower() == "all":
+            runs = [(eid, get_experiment(eid)) for eid in EXPERIMENT_IDS]
+        else:
+            runs = [(args.experiment, get_experiment(args.experiment))]
+        for experiment_id, runner in runs:
             started = time.time()
             result = runner(
                 scale=args.scale, benchmarks=benchmarks, seed=args.seed,
@@ -68,6 +149,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if sink is not None:
             sink.close()
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                json.dump(executor.snapshot(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+    for failure in executor.failures:
+        print(f"warning: job failed: {failure.to_dict()}", file=sys.stderr)
     return 0
 
 

@@ -3,11 +3,21 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.config.scaling import capacity_scaled
 from repro.config.system import SystemConfig
 from repro.core.policy import TranslationPolicy
+from repro.exec.executor import SweepExecutor
+from repro.exec.jobs import RunJob, make_job
 from repro.system.result import RunResult
 from repro.system.runner import run_benchmark
 from repro.workloads.registry import BENCHMARK_NAMES
@@ -72,17 +82,33 @@ def _format_cell(cell: object) -> str:
 
 
 class RunCache:
-    """Memoises benchmark runs within one process.
+    """Memoises benchmark runs: in-memory L1 over an optional disk L2.
 
     Experiments share baselines heavily (every speedup normalises to the
     same run); the cache keys on the full config repr plus workload, scale,
     and seed, so distinct configurations never collide.
+
+    Attaching a :class:`~repro.exec.SweepExecutor` adds two layers: its
+    content-addressed disk cache serves results across processes, and
+    :meth:`warm` pre-executes whole job batches across a process pool so
+    the harnesses' serial loops become pure L1 hits.  Without an executor
+    the behaviour is the historical serial one, unchanged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, executor: Optional[SweepExecutor] = None) -> None:
         self._runs: Dict[str, RunResult] = {}
+        #: L1 keys whose value was revived from disk JSON.  Those entries
+        #: lack live objects (analyzers, series) and must not satisfy a
+        #: ``rich=True`` request — a rich miss re-executes and the live
+        #: result replaces the revived one.
+        self._from_disk: set = set()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.executor = executor
+
+    def _l1_hit(self, key: str, rich: bool) -> bool:
+        return key in self._runs and not (rich and key in self._from_disk)
 
     def get(
         self,
@@ -92,26 +118,90 @@ class RunCache:
         seed: Optional[int] = None,
         policy_factory: Optional[Callable[[], TranslationPolicy]] = None,
         policy_key: str = "",
+        rich: bool = False,
         **run_kwargs,
     ) -> RunResult:
-        key = "|".join(
-            (repr(config), workload, f"{scale:.6f}", str(seed), policy_key,
-             repr(sorted(run_kwargs.items())))
+        """The result for one run, computed at most once.
+
+        ``rich=True`` marks runs whose consumers need live objects on the
+        result (analyzers, ``buffer_series``); they are never *served*
+        from the JSON disk cache, which cannot round-trip those.
+        """
+        job = make_job(
+            config, workload, scale, seed=seed, policy_key=policy_key,
+            rich=rich, **run_kwargs,
         )
-        if key in self._runs:
+        key = job.memory_key
+        if self._l1_hit(key, rich):
             self.hits += 1
+            if self.executor is not None:
+                self.executor.note_memory_hit()
             return self._runs[key]
+        if self.executor is not None:
+            cached = self.executor.lookup(job)
+            if cached is not None:
+                self.disk_hits += 1
+                self._runs[key] = cached
+                self._from_disk.add(key)
+                return cached
         self.misses += 1
-        policy = policy_factory() if policy_factory else None
-        # Scaled-capacity methodology: shrink capacity-sensitive structures
-        # with the workload so capacity-to-footprint ratios match full size
-        # (see repro.config.scaling).
-        result = run_benchmark(
-            capacity_scaled(config, scale), workload,
-            scale=scale, seed=seed, policy=policy, **run_kwargs,
-        )
+        if self.executor is not None:
+            result = self.executor.run_inline(job, policy_factory)
+            self.executor.store(job, result)
+        else:
+            policy = policy_factory() if policy_factory else None
+            # Scaled-capacity methodology: shrink capacity-sensitive
+            # structures with the workload so capacity-to-footprint ratios
+            # match full size (see repro.config.scaling).
+            result = run_benchmark(
+                capacity_scaled(config, scale), workload,
+                scale=scale, seed=seed, policy=policy, **run_kwargs,
+            )
         self._runs[key] = result
+        self._from_disk.discard(key)
         return result
+
+    def warm(self, specs: Iterable[Dict[str, object]]) -> None:
+        """Pre-execute a batch of :meth:`get` calls, in parallel.
+
+        Each spec is a dict of :meth:`get` keyword arguments (``config``,
+        ``workload``, ``scale``, ``seed``, optionally ``policy_key`` /
+        ``policy_factory`` / ``rich`` / extra run kwargs).  With no
+        executor, or an executor running ``jobs=1``, this is a no-op —
+        the harness's own serial loop computes everything, exactly as
+        before.  Otherwise: L1/L2 hits are absorbed, the remaining
+        pool-safe jobs run across the process pool, and every result
+        lands in L1 (and on disk) so the subsequent serial loop never
+        simulates.  Failures are recorded on the executor, not raised:
+        the serial ``get`` retries the job and surfaces the error with
+        its original traceback.
+        """
+        executor = self.executor
+        if executor is None or executor.jobs <= 1:
+            return
+        to_run: Dict[str, RunJob] = {}
+        for spec in specs:
+            spec = dict(spec)
+            policy_factory = spec.pop("policy_factory", None)
+            job = make_job(**spec)
+            key = job.memory_key
+            if self._l1_hit(key, job.rich) or key in to_run:
+                continue
+            cached = executor.lookup(job)
+            if cached is not None:
+                self.disk_hits += 1
+                self._runs[key] = cached
+                self._from_disk.add(key)
+                continue
+            if job.pool_safe(policy_factory):
+                to_run[key] = job
+        jobs = list(to_run.values())
+        results = executor.map(jobs)
+        for index, result in results.items():
+            job = jobs[index]
+            self._runs[job.memory_key] = result
+            self._from_disk.discard(job.memory_key)
+            executor.store(job, result)
 
 
 def resolve_benchmarks(

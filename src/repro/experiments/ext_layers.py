@@ -35,6 +35,14 @@ def run(
         benchmarks if benchmarks is not None else REPRESENTATIVE_BENCHMARKS
     )
     base_config = wafer_7x7_config()
+    cache.warm(
+        [dict(config=base_config, workload=name, scale=scale, seed=seed)
+         for name in names]
+        + [dict(config=base_config.with_hdpat(
+                    replace(HDPATConfig.full(), num_layers=layers)),
+                workload=name, scale=scale, seed=seed)
+           for layers in LAYER_COUNTS for name in names]
+    )
     rows = []
     per_layer_speedups = {layers: [] for layers in LAYER_COUNTS}
     for name in names:

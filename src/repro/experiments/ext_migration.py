@@ -43,12 +43,19 @@ def run(
     migration_config = hdpat_config.with_migration(
         MigrationConfig(enabled=True, threshold=1, cooldown_cycles=20_000)
     )
+    # rich: reads extras["migration"], which the JSON cache does not carry.
+    cache.warm(
+        [dict(config=config, workload=name, scale=scale, seed=seed)
+         for config in (base_config, hdpat_config) for name in names]
+        + [dict(config=migration_config, workload=name, scale=scale,
+                seed=seed, rich=True) for name in names]
+    )
     rows = []
     ratios = []
     for name in names:
         baseline = cache.get(base_config, name, scale, seed)
         hdpat = cache.get(hdpat_config, name, scale, seed)
-        migrated = cache.get(migration_config, name, scale, seed)
+        migrated = cache.get(migration_config, name, scale, seed, rich=True)
         hdpat_speedup = hdpat.speedup_over(baseline)
         migrated_speedup = migrated.speedup_over(baseline)
         ratios.append(migrated_speedup / hdpat_speedup)

@@ -38,6 +38,11 @@ def run(
     without_rotation = base_config.with_hdpat(
         replace(HDPATConfig.full(), use_rotation=False)
     )
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for config in (base_config, with_rotation, without_rotation)
+        for name in names
+    )
     rows = []
     ratios = []
     for name in names:

@@ -36,6 +36,14 @@ def run(
         benchmarks if benchmarks is not None else REPRESENTATIVE_BENCHMARKS
     )
     base_config = wafer_7x7_config()
+    cache.warm(
+        [dict(config=base_config, workload=name, scale=scale, seed=seed)
+         for name in names]
+        + [dict(config=base_config.with_hdpat(
+                    replace(HDPATConfig.full(), push_threshold=threshold)),
+                workload=name, scale=scale, seed=seed)
+           for threshold in THRESHOLDS for name in names]
+    )
     rows = []
     for threshold in THRESHOLDS:
         config = base_config.with_hdpat(

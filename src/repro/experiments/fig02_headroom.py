@@ -33,6 +33,11 @@ def run(
     ideal_parallel = base_config.with_iommu(
         base_config.iommu.idealized(num_walkers=4096)
     )
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for config in (base_config, ideal_latency, ideal_parallel)
+        for name in names
+    )
     rows = []
     latency_speedups, parallel_speedups = [], []
     for name in names:

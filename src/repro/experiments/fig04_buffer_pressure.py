@@ -23,13 +23,20 @@ def run(
     cache = cache or RunCache()
     workload = (benchmarks[0] if isinstance(benchmarks, (list, tuple)) and benchmarks
                 else "spmv")
+    # rich: the buffer-pressure TimeSeries cannot ride the JSON disk cache.
+    cache.warm(
+        dict(config=config, workload=workload, scale=scale, seed=seed,
+             sample_buffer_every=SAMPLE_PERIOD, policy_key=key, rich=True)
+        for key, config in (("mcm", mcm_4gpm_config()),
+                            ("wafer", wafer_7x7_config()))
+    )
     mcm = cache.get(
         mcm_4gpm_config(), workload, scale, seed,
-        sample_buffer_every=SAMPLE_PERIOD, policy_key="mcm",
+        sample_buffer_every=SAMPLE_PERIOD, policy_key="mcm", rich=True,
     )
     wafer = cache.get(
         wafer_7x7_config(), workload, scale, seed,
-        sample_buffer_every=SAMPLE_PERIOD, policy_key="wafer",
+        sample_buffer_every=SAMPLE_PERIOD, policy_key="wafer", rich=True,
     )
     rows = [
         [

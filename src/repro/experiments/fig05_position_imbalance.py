@@ -29,6 +29,10 @@ def run(
     rings = sorted(
         {topology.chebyshev_from_cpu(t.coordinate) for t in topology.gpm_tiles}
     )
+    cache.warm(
+        dict(config=config, workload=workload, scale=scale, seed=seed)
+        for workload in workloads
+    )
     rows = []
     ratios = {}
     for workload in workloads:

@@ -25,9 +25,14 @@ def run(
     cache = cache or RunCache()
     names = resolve_benchmarks(benchmarks)
     config = wafer_7x7_config()
+    # rich: consumes the live translation-count analyzer.
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed, rich=True)
+        for name in names
+    )
     rows = []
     for name in names:
-        result = cache.get(config, name, scale, seed)
+        result = cache.get(config, name, scale, seed, rich=True)
         counts = result.extras["iommu_analyzers"]["translation_counts"]
         histogram = counts.histogram()
         once = counts.fraction_single_translation()

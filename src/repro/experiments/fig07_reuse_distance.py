@@ -22,9 +22,14 @@ def run(
     cache = cache or RunCache()
     names = tuple(benchmarks) if benchmarks else DEFAULT_WORKLOADS
     config = wafer_7x7_config()
+    # rich: consumes the live reuse-distance analyzer.
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed, rich=True)
+        for name in names
+    )
     rows = []
     for name in names:
-        result = cache.get(config, name, scale, seed)
+        result = cache.get(config, name, scale, seed, rich=True)
         reuse = result.extras["iommu_analyzers"]["reuse_distance"]
         fractions = reuse.histogram.fractions()
         rows.append(

@@ -24,11 +24,17 @@ def run(
     workload = (benchmarks[0] if isinstance(benchmarks, (list, tuple)) and benchmarks
                 else "fir")
     config = wafer_7x7_config()
+    # rich: consumes the live served-window counter.
+    cache.warm(
+        dict(config=config, workload=workload,
+             scale=min(1.0, scale * factor), seed=seed, rich=True)
+        for factor in SIZE_FACTORS
+    )
     shapes = {}
     rows = []
     for factor in SIZE_FACTORS:
         run_scale = min(1.0, scale * factor)
-        result = cache.get(config, workload, run_scale, seed)
+        result = cache.get(config, workload, run_scale, seed, rich=True)
         window = result.extras["iommu_analyzers"]["served_window"]
         # Re-bin the fine-grained counter to ~20 windows per run so the
         # shapes are comparable across problem sizes (the paper's fixed

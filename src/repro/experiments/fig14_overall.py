@@ -31,6 +31,13 @@ def run(
     names = resolve_benchmarks(benchmarks)
     base_config = wafer_7x7_config()
     hdpat_config = base_config.with_hdpat(HDPATConfig.full())
+    cache.warm(
+        [dict(config=config, workload=name, scale=scale, seed=seed)
+         for config in (base_config, hdpat_config) for name in names]
+        + [dict(config=sota_system_config(scheme, base_config), workload=name,
+                scale=scale, seed=seed, policy_key=scheme)
+           for scheme in SOTA_NAMES for name in names]
+    )
     rows = []
     speedups = {scheme: [] for scheme in SCHEMES if scheme != "baseline"}
     for name in names:

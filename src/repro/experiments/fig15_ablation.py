@@ -40,6 +40,13 @@ def run(
     cache = cache or RunCache()
     names = resolve_benchmarks(benchmarks)
     base_config = wafer_7x7_config()
+    cache.warm(
+        [dict(config=base_config, workload=name, scale=scale, seed=seed)
+         for name in names]
+        + [dict(config=base_config.with_hdpat(HDPATConfig.ablation(ablation)),
+                workload=name, scale=scale, seed=seed)
+           for ablation in ABLATIONS for name in names]
+    )
     rows = []
     speedups = {ablation: [] for ablation in ABLATIONS}
     for name in names:

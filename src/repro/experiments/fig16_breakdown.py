@@ -27,6 +27,10 @@ def run(
     cache = cache or RunCache()
     names = resolve_benchmarks(benchmarks)
     config = wafer_7x7_config(hdpat=HDPATConfig.full())
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for name in names
+    )
     rows = []
     offloads = []
     for name in names:

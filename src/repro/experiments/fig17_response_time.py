@@ -27,6 +27,10 @@ def run(
     names = resolve_benchmarks(benchmarks)
     base_config = wafer_7x7_config()
     hdpat_config = base_config.with_hdpat(HDPATConfig.full())
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for config in (base_config, hdpat_config) for name in names
+    )
     rows = []
     ratios = []
     traffic_deltas = []

@@ -29,6 +29,14 @@ def run(
     cache = cache or RunCache()
     names = resolve_benchmarks(benchmarks)
     base_config = wafer_7x7_config()
+    cache.warm(
+        [dict(config=base_config, workload=name, scale=scale, seed=seed)
+         for name in names]
+        + [dict(config=base_config.with_hdpat(
+                    HDPATConfig.full(prefetch_degree=granularity)),
+                workload=name, scale=scale, seed=seed)
+           for granularity in GRANULARITIES for name in names]
+    )
     rows = []
     speedups = {g: [] for g in GRANULARITIES}
     for name in names:

@@ -42,6 +42,11 @@ def run(
             ),
         )
     )
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for config in (base_config, redirection_config, tlb_config)
+        for name in names
+    )
     rows = []
     ratios = []
     for name in names:

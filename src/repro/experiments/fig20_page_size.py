@@ -33,6 +33,13 @@ def run(
     names = resolve_benchmarks(
         benchmarks if benchmarks is not None else REPRESENTATIVE_BENCHMARKS
     )
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for page_size in PAGE_SIZES
+        for base in (wafer_7x7_config().with_page_size(page_size),)
+        for config in (base, base.with_hdpat(HDPATConfig.full()))
+        for name in names
+    )
     rows = []
     reference = None
     advantages = []

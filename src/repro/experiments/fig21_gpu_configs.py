@@ -31,6 +31,13 @@ def run(
     names = resolve_benchmarks(
         benchmarks if benchmarks is not None else REPRESENTATIVE_BENCHMARKS
     )
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for gpu in GPU_NAMES
+        for base in (wafer_7x7_config(gpm=gpm_preset(gpu)),)
+        for config in (base, base.with_hdpat(HDPATConfig.full()))
+        for name in names
+    )
     rows = []
     for gpu in GPU_NAMES:
         base_config = wafer_7x7_config(gpm=gpm_preset(gpu))

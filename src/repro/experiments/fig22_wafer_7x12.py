@@ -31,6 +31,10 @@ def run(
     )
     base_config = wafer_7x12_config()
     hdpat_config = base_config.with_hdpat(HDPATConfig.full())
+    cache.warm(
+        dict(config=config, workload=name, scale=scale, seed=seed)
+        for config in (base_config, hdpat_config) for name in names
+    )
     rows = []
     speedups = []
     for name in names:

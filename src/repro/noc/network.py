@@ -52,6 +52,10 @@ class MeshNetwork(Component):
         self._links: Dict[Tuple[Coordinate, Coordinate], Link] = {}
         self._handlers: Dict[Coordinate, DeliveryFn] = {}
         self.messages_sent = 0
+        #: Messages that actually traversed links (src != dst).  Zero-hop
+        #: deliveries count toward ``messages_sent`` (traffic report) but
+        #: must not deflate :meth:`mean_hops`.
+        self.messages_routed = 0
         self.total_hops = 0
         # Per-kind accounting: messages and bytes x hops by MessageKind.
         self.messages_by_kind: Dict[object, int] = {}
@@ -94,6 +98,7 @@ class MeshNetwork(Component):
         hop_times = None
         if message.src != message.dst:
             links = route_links(message.src, message.dst)
+            self.messages_routed += 1
             self.total_hops += len(links)
             self.link_bytes_by_kind[message.kind] = (
                 self.link_bytes_by_kind.get(message.kind, 0)
@@ -154,7 +159,10 @@ class MeshNetwork(Component):
         return sum(link.translation_bytes for link in self._links.values())
 
     def mean_hops(self) -> float:
-        return self.total_hops / self.messages_sent if self.messages_sent else 0.0
+        """Mean hops per *routed* message (zero-hop sends excluded)."""
+        return (
+            self.total_hops / self.messages_routed if self.messages_routed else 0.0
+        )
 
     def link_wait_cycles(self) -> int:
         """Total contention-induced waiting across all links."""

@@ -125,9 +125,10 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        step = self._step_profiled if self.profiler is not None else self.step
         try:
             while self._queue and self._queue[0][0] <= time:
-                self.step()
+                step()
             self.now = max(self.now, time)
         finally:
             self._running = False

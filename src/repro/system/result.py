@@ -113,6 +113,47 @@ class RunResult:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output (JSON round-trip).
+
+        ``ServedBy`` keys are revived from their string values, and the
+        ``truncated`` / ``prefetch_accuracy_raw`` extras are restored so
+        ``to_dict(from_dict(d)) == d`` exactly.  Live analyzer objects,
+        the metrics snapshot, and ``buffer_series`` are *not* part of the
+        JSON contract — experiments that need them must run fresh (see
+        ``RunCache.get(rich=True)``).
+        """
+        iommu = data["iommu"]
+        network = data["network"]
+        return cls(
+            workload=data["workload"],
+            config_description=data["config"],
+            exec_cycles=data["exec_cycles"],
+            per_gpm_finish=list(data["per_gpm_finish"]),
+            served_by={
+                ServedBy(value): count
+                for value, count in data["served_by"].items()
+            },
+            total_accesses=data["total_accesses"],
+            iommu_requests=iommu["requests"],
+            iommu_walks=iommu["walks"],
+            iommu_coalesced=iommu["coalesced"],
+            iommu_redirects=iommu["redirects"],
+            latency_breakdown=dict(iommu["latency_breakdown"]),
+            latency_percent=dict(iommu["latency_percent"]),
+            prefetch_pushed=iommu["prefetch_pushed"],
+            total_link_bytes=network["total_link_bytes"],
+            translation_link_bytes=network["translation_link_bytes"],
+            mean_hops=network["mean_hops"],
+            mean_rtt=data["mean_rtt"],
+            remote_translations=data["remote_translations"],
+            extras={
+                "truncated": data["truncated"],
+                "prefetch_accuracy_raw": iommu["prefetch_accuracy_raw"],
+            },
+        )
+
     def to_dict(self) -> Dict[str, object]:
         """A JSON-serialisable summary (analyzers and series omitted)."""
         return {

@@ -132,7 +132,12 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         workload=trace.name,
         config_description=wafer.config.describe(),
         exec_cycles=wafer.execution_cycles(),
-        per_gpm_finish=[g.finish_time or wafer.sim.now for g in wafer.gpms],
+        # ``is not None``, not ``or``: a GPM with an empty trace slice
+        # legitimately finishes at cycle 0, which is falsy.
+        per_gpm_finish=[
+            g.finish_time if g.finish_time is not None else wafer.sim.now
+            for g in wafer.gpms
+        ],
         served_by=served_totals,
         total_accesses=trace.total_accesses,
         iommu_requests=iommu.stat("requests"),

@@ -224,6 +224,7 @@ class WaferScaleGPU:
             registry.merge_stats("iommu.front", self.iommu.front.stats)
             registry.merge_stats("noc", {
                 "messages_sent": self.network.messages_sent,
+                "messages_routed": self.network.messages_routed,
                 "total_hops": self.network.total_hops,
                 "link_wait_cycles": self.network.link_wait_cycles(),
                 "total_link_bytes": self.network.total_link_bytes(),

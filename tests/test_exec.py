@@ -1,0 +1,348 @@
+"""Tests for repro.exec: job identity, disk cache, executor, CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.core.baselines.registry import sota_policy
+from repro.core.request import ServedBy
+from repro.exec import (
+    CACHE_SCHEMA,
+    DiskResultCache,
+    RunJob,
+    SweepExecutor,
+    default_jobs,
+    execute_job,
+    make_job,
+)
+from repro.experiments.cli import main
+from repro.experiments.common import RunCache
+from repro.system.result import RunResult
+from repro.system.runner import run_benchmark
+
+FAST = dict(scale=0.02, seed=1)
+
+
+@pytest.fixture(scope="module")
+def aes_result(small_system_config):
+    return run_benchmark(small_system_config, "aes", scale=0.02, seed=1)
+
+
+@pytest.fixture(scope="module")
+def small_system_config(tiny_gpm_config):
+    # Module-scoped twin of the conftest fixture so expensive runs are
+    # shared across this file's tests.
+    from repro.config.iommu import IOMMUConfig
+    from repro.config.system import SystemConfig
+
+    return SystemConfig(
+        mesh_width=3,
+        mesh_height=3,
+        gpm=tiny_gpm_config,
+        iommu=IOMMUConfig(
+            num_walkers=4,
+            walk_latency=100,
+            buffer_capacity=256,
+            pw_queue_capacity=8,
+            redirection_entries=64,
+        ),
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_gpm_config():
+    from repro.config.gpm import GPMConfig, TLBConfig
+
+    return GPMConfig(
+        name="tiny",
+        num_cus=4,
+        l1_vector_tlb=TLBConfig(1, 8, 4, 4),
+        l1_scalar_tlb=TLBConfig(1, 8, 4, 4),
+        l1_inst_tlb=TLBConfig(1, 8, 4, 4),
+        l2_tlb=TLBConfig(8, 8, 8, 32),
+        gmmu_cache=TLBConfig(8, 4, 4, 8),
+        gmmu_walkers=2,
+        walk_latency=100,
+        cuckoo_capacity=4096,
+        outstanding_per_cu=4,
+        issue_width=2,
+    )
+
+
+class TestRunJob:
+    def test_cache_key_stable(self, small_system_config):
+        a = make_job(small_system_config, "aes", 0.02, seed=1)
+        b = make_job(small_system_config, "aes", 0.02, seed=1)
+        assert a.cache_key() == b.cache_key()
+        assert a.memory_key == b.memory_key
+
+    def test_cache_key_covers_every_coordinate(self, small_system_config):
+        base = make_job(small_system_config, "aes", 0.02, seed=1)
+        variants = [
+            make_job(small_system_config, "fir", 0.02, seed=1),
+            make_job(small_system_config, "aes", 0.03, seed=1),
+            make_job(small_system_config, "aes", 0.02, seed=2),
+            make_job(small_system_config, "aes", 0.02, seed=1,
+                     policy_key="transfw"),
+            make_job(small_system_config, "aes", 0.02, seed=1,
+                     max_cycles=1000),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == len(variants) + 1
+
+    def test_rich_flag_does_not_change_identity(self, small_system_config):
+        plain = make_job(small_system_config, "aes", 0.02, seed=1)
+        rich = make_job(small_system_config, "aes", 0.02, seed=1, rich=True)
+        # Same simulation -> same stored artefact; richness only gates
+        # whether the JSON may *serve* the request.
+        assert plain.cache_key() == rich.cache_key()
+
+    def test_pool_safety(self, small_system_config):
+        plain = make_job(small_system_config, "aes", 0.02, seed=1)
+        assert plain.pool_safe()
+        # A custom factory under a non-SOTA key cannot be revived in a
+        # worker process.
+        assert not plain.pool_safe(policy_factory=lambda: None)
+        sota = make_job(small_system_config, "aes", 0.02, seed=1,
+                        policy_key="transfw")
+        factory = lambda: sota_policy("transfw", small_system_config.hdpat)
+        assert sota.pool_safe(policy_factory=factory)
+        complex_kwargs = RunJob(
+            config=small_system_config, workload="aes", scale=0.02,
+            run_kwargs=(("obs", object()),),
+        )
+        assert not complex_kwargs.pool_safe()
+
+
+class TestRunResultRoundTrip:
+    def test_to_from_to_dict_identity(self, aes_result):
+        first = aes_result.to_dict()
+        revived = RunResult.from_dict(json.loads(json.dumps(first)))
+        assert revived.to_dict() == first
+
+    def test_served_by_keys_revived_as_enums(self, aes_result):
+        revived = RunResult.from_dict(aes_result.to_dict())
+        assert revived.served_by
+        assert all(isinstance(k, ServedBy) for k in revived.served_by)
+        assert revived.served_by == aes_result.served_by
+
+    def test_extras_carry_truncated_and_raw_accuracy(self, aes_result):
+        revived = RunResult.from_dict(aes_result.to_dict())
+        assert revived.extras["truncated"] == aes_result.extras["truncated"]
+        assert revived.extras["prefetch_accuracy_raw"] == pytest.approx(
+            aes_result.extras["prefetch_accuracy_raw"]
+        )
+
+    def test_per_gpm_finish_preserved(self, aes_result):
+        revived = RunResult.from_dict(aes_result.to_dict())
+        assert revived.per_gpm_finish == aes_result.per_gpm_finish
+
+
+class TestDiskResultCache:
+    def test_round_trip(self, tmp_path, small_system_config, aes_result):
+        cache = DiskResultCache(tmp_path)
+        job = make_job(small_system_config, "aes", 0.02, seed=1)
+        assert cache.load(job) is None
+        cache.store(job, aes_result)
+        assert len(cache) == 1
+        revived = cache.load(job)
+        assert revived is not None
+        assert revived.to_dict() == aes_result.to_dict()
+
+    def test_schema_mismatch_is_a_miss(
+        self, tmp_path, small_system_config, aes_result
+    ):
+        cache = DiskResultCache(tmp_path)
+        job = make_job(small_system_config, "aes", 0.02, seed=1)
+        cache.store(job, aes_result)
+        path = cache.path_for(job)
+        payload = json.loads(path.read_text())
+        payload["schema"] = CACHE_SCHEMA + 1
+        path.write_text(json.dumps(payload))
+        assert cache.load(job) is None
+
+    def test_corrupt_file_is_a_miss(
+        self, tmp_path, small_system_config, aes_result
+    ):
+        cache = DiskResultCache(tmp_path)
+        job = make_job(small_system_config, "aes", 0.02, seed=1)
+        cache.store(job, aes_result)
+        cache.path_for(job).write_text("{not json")
+        assert cache.load(job) is None
+
+
+class TestSweepExecutor:
+    def test_default_jobs_leaves_a_core(self):
+        assert default_jobs() >= 1
+
+    def test_parallel_matches_serial(self, small_system_config):
+        jobs = [
+            make_job(small_system_config, name, 0.02, seed=1)
+            for name in ("aes", "fir")
+        ]
+        serial = SweepExecutor(jobs=1).map(jobs)
+        parallel = SweepExecutor(jobs=2).map(jobs)
+        assert set(serial) == set(parallel) == {0, 1}
+        for index in serial:
+            assert serial[index].to_dict() == parallel[index].to_dict()
+
+    def test_failure_recorded_not_raised(self, small_system_config):
+        executor = SweepExecutor(jobs=2, retries=1)
+        jobs = [
+            make_job(small_system_config, "aes", 0.02, seed=1),
+            make_job(small_system_config, "no-such-benchmark", 0.02, seed=1),
+        ]
+        results = executor.map(jobs)
+        assert set(results) == {0}
+        assert len(executor.failures) == 1
+        failure = executor.failures[0]
+        assert failure.kind == "error"
+        assert failure.attempts == 2  # original + one retry
+        assert failure.job["workload"] == "no-such-benchmark"
+        snapshot = executor.snapshot()
+        assert snapshot["sweep"]["jobs"]["failed"] == 1
+        assert snapshot["sweep"]["failures"][0]["kind"] == "error"
+
+    def test_executed_results_serve_later_from_disk(
+        self, tmp_path, small_system_config
+    ):
+        jobs = [
+            make_job(small_system_config, name, 0.02, seed=1)
+            for name in ("aes", "fir")
+        ]
+        cold = SweepExecutor(jobs=2, cache_dir=tmp_path)
+        results = cold.map(jobs)
+        for index, result in results.items():
+            cold.store(jobs[index], result)
+        warm = SweepExecutor(jobs=2, cache_dir=tmp_path)
+        for index, job in enumerate(jobs):
+            cached = warm.lookup(job)
+            assert cached is not None
+            assert cached.to_dict() == results[index].to_dict()
+        snap = warm.snapshot()["sweep"]["jobs"]
+        assert snap["cache_hit_disk"] == 2
+        assert snap["executed"] == 0
+
+    def test_rich_jobs_never_served_from_disk(
+        self, tmp_path, small_system_config, aes_result
+    ):
+        executor = SweepExecutor(jobs=2, cache_dir=tmp_path)
+        rich = make_job(small_system_config, "aes", 0.02, seed=1, rich=True)
+        executor.store(rich, aes_result)
+        assert executor.lookup(rich) is None
+        plain = make_job(small_system_config, "aes", 0.02, seed=1)
+        assert executor.lookup(plain) is not None
+
+
+class TestRunCacheIntegration:
+    def test_warm_makes_serial_loop_pure_l1(self, small_system_config):
+        executor = SweepExecutor(jobs=2)
+        cache = RunCache(executor=executor)
+        specs = [
+            dict(config=small_system_config, workload=name, scale=0.02,
+                 seed=1)
+            for name in ("aes", "fir")
+        ]
+        cache.warm(specs)
+        for name in ("aes", "fir"):
+            cache.get(small_system_config, name, 0.02, seed=1)
+        assert cache.misses == 0
+        assert cache.hits == 2
+        snap = executor.snapshot()["sweep"]["jobs"]
+        assert snap["executed"] == 2
+        assert snap["cache_hit_memory"] == 2
+
+    def test_warm_is_noop_without_parallelism(self, small_system_config):
+        serial = RunCache(executor=SweepExecutor(jobs=1))
+        serial.warm([
+            dict(config=small_system_config, workload="aes", scale=0.02,
+                 seed=1)
+        ])
+        assert serial.misses == 0 and not serial._runs
+
+    def test_serial_and_parallel_cache_agree(self, small_system_config):
+        serial = RunCache()
+        parallel = RunCache(executor=SweepExecutor(jobs=2))
+        parallel.warm([
+            dict(config=small_system_config, workload="aes", scale=0.02,
+                 seed=1)
+        ])
+        a = serial.get(small_system_config, "aes", 0.02, seed=1)
+        b = parallel.get(small_system_config, "aes", 0.02, seed=1)
+        assert a.to_dict() == b.to_dict()
+
+    def test_rich_get_refuses_disk_revived_l1_entry(
+        self, tmp_path, small_system_config
+    ):
+        # A JSON-revived result lacks live analyzer objects; a rich
+        # request for the same cell must re-execute, not be handed the
+        # revived entry out of L1.
+        seed_cache = RunCache(
+            executor=SweepExecutor(jobs=1, cache_dir=tmp_path)
+        )
+        seed_cache.get(small_system_config, "aes", 0.02, seed=1)
+        cache = RunCache(executor=SweepExecutor(jobs=1, cache_dir=tmp_path))
+        revived = cache.get(small_system_config, "aes", 0.02, seed=1)
+        assert cache.disk_hits == 1
+        assert "iommu_analyzers" not in revived.extras
+        rich = cache.get(small_system_config, "aes", 0.02, seed=1, rich=True)
+        assert cache.misses == 1
+        assert "iommu_analyzers" in rich.extras
+        # The live result replaces the revived one and satisfies both.
+        assert cache.get(small_system_config, "aes", 0.02, seed=1) is rich
+
+    def test_disk_cache_spans_runcache_instances(
+        self, tmp_path, small_system_config
+    ):
+        first = RunCache(executor=SweepExecutor(jobs=1, cache_dir=tmp_path))
+        first.get(small_system_config, "aes", 0.02, seed=1)
+        second = RunCache(executor=SweepExecutor(jobs=1, cache_dir=tmp_path))
+        result = second.get(small_system_config, "aes", 0.02, seed=1)
+        assert second.disk_hits == 1
+        assert second.misses == 0
+        assert result.workload == "aes"
+
+
+class TestCLI:
+    def test_jobs_and_cache_flags(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "fig03", "--scale", "0.02", "--benchmarks", "aes",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+            "--metrics-out", str(metrics),
+        ]) == 0
+        assert "fig03" in capsys.readouterr().out
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["sweep"]["jobs"]["executed"] >= 1
+        assert snapshot["sweep"]["failures"] == []
+
+    def test_warm_rerun_executes_nothing(self, tmp_path, capsys):
+        args = [
+            "fig03", "--scale", "0.02", "--benchmarks", "aes",
+            "--jobs", "2", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        metrics = tmp_path / "metrics.json"
+        assert main(args + ["--metrics-out", str(metrics)]) == 0
+        second = capsys.readouterr().out
+
+        def table(text):  # drop the wall-clock trailer line
+            return [l for l in text.splitlines() if not l.startswith("[")]
+
+        assert table(first) == table(second)
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["sweep"]["jobs"]["executed"] == 0
+        assert snapshot["sweep"]["jobs"]["cache_hit_disk"] >= 1
+
+    def test_sweep_verb(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main([
+            "sweep", "--benchmarks", "aes", "--scales", "0.02",
+            "--seeds", "1,2", "--schemes", "baseline,hdpat",
+            "--jobs", "2", "--metrics-out", str(metrics),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "4 cells (0 failed)" in out
+        snapshot = json.loads(metrics.read_text())
+        assert snapshot["sweep"]["jobs"]["executed"] == 4

@@ -103,6 +103,21 @@ class TestTraffic:
         sim.run()
         assert network.mean_hops() == pytest.approx(3.0)
 
+    def test_mean_hops_excludes_zero_hop_sends(self, sim, network):
+        network.send(_msg((0, 0), (2, 0)), lambda m: None)  # 2 hops
+        network.send(_msg((0, 0), (4, 0)), lambda m: None)  # 4 hops
+        network.send(_msg((1, 1), (1, 1)), lambda m: None)  # local, 0 hops
+        sim.run()
+        assert network.messages_sent == 3
+        assert network.messages_routed == 2
+        assert network.mean_hops() == pytest.approx(3.0)
+
+    def test_mean_hops_all_local_is_zero(self, sim, network):
+        network.send(_msg((1, 1), (1, 1)), lambda m: None)
+        sim.run()
+        assert network.messages_routed == 0
+        assert network.mean_hops() == 0.0
+
 
 class TestMessageDefaults:
     def test_default_sizes_by_kind(self):

@@ -124,6 +124,16 @@ class TestExecution:
         assert sum(profiler.counts.values()) == 1
         assert profiler.total_seconds >= 0.0
 
+    def test_run_until_dispatches_to_profiler(self):
+        from repro.obs import HostProfiler
+
+        profiler = HostProfiler()
+        sim = Simulator(profiler=profiler)
+        sim.schedule(5, lambda: None)
+        sim.schedule(100, lambda: None)
+        sim.run_until(50)
+        assert sum(profiler.counts.values()) == 1
+
     def test_nested_run_rejected(self, sim):
         sim.schedule(1, lambda: sim.run())
         with pytest.raises(SimulationError):

@@ -75,6 +75,32 @@ class TestRunner:
         )
         assert len(result.per_gpm_finish) == 8
 
+    def test_gpm_finishing_at_cycle_zero_reports_zero(self, small_system_config):
+        # Regression: ``finish_time or sim.now`` treated a legitimate
+        # cycle-0 finish (empty trace slice drains immediately) as
+        # "still running" and reported the wafer-wide end time instead.
+        from repro.mem.allocator import PageAllocator
+        from repro.system.runner import collect_result
+        from repro.workloads.registry import get_workload
+
+        workload = get_workload("aes")
+        wafer = WaferScaleGPU(small_system_config)
+        allocator = PageAllocator(wafer.address_space, wafer.num_gpms)
+        trace = workload.generate(
+            num_gpms=wafer.num_gpms, allocator=allocator, scale=0.02, seed=1
+        )
+        for allocation in allocator.allocations:
+            wafer.install_entries(allocator.materialize(allocation))
+        trace.per_gpm[0] = []  # this GPM drains at cycle 0
+        wafer.load_traces(
+            trace.per_gpm, burst=trace.burst, interval=trace.interval
+        )
+        wafer.run()
+        result = collect_result(wafer, trace)
+        assert result.exec_cycles > 0
+        assert result.per_gpm_finish[0] == 0
+        assert all(f > 0 for f in result.per_gpm_finish[1:])
+
     def test_workload_object_accepted(self, small_system_config):
         from repro.workloads.registry import get_workload
 
