@@ -1,0 +1,53 @@
+"""Correctness tooling: hdpat-lint (static) + runtime sanitizers.
+
+Two sides, one goal — every figure rests on the simulator being
+bit-deterministic and conservation-correct, so both are machine-checked:
+
+* :mod:`repro.analysis.rules` / :mod:`repro.analysis.lint` — an AST lint
+  pass enforcing determinism invariants per layer (no wall-clock or
+  global-``random`` use in simulation layers, no unseeded generators, no
+  set-order leaks, no mutable defaults, picklable exec jobs, integral
+  cycle math, conformant metric names).
+* :mod:`repro.analysis.sanitizers` — runtime checks armed by
+  ``Simulator(sanitize=True)`` / ``--sanitize``: event-order causality,
+  NoC byte conservation, buffer-leak detection at quiesce, and a
+  dual-run determinism digest.
+
+CLI: ``python -m repro.analysis {lint,sanitize}``.  See docs/ANALYSIS.md.
+"""
+
+from repro.analysis.lint import (
+    Baseline,
+    Finding,
+    layer_of,
+    lint_paths,
+    lint_source,
+    summarize,
+)
+from repro.analysis.rules import ALL_RULES, Rule, rules_by_id
+from repro.analysis.sanitizers import (
+    BufferLeakSanitizer,
+    ConservationSanitizer,
+    EventOrderSanitizer,
+    SanitizerContext,
+    check_determinism,
+    result_digest,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "BufferLeakSanitizer",
+    "ConservationSanitizer",
+    "EventOrderSanitizer",
+    "Finding",
+    "Rule",
+    "SanitizerContext",
+    "check_determinism",
+    "layer_of",
+    "lint_paths",
+    "lint_source",
+    "result_digest",
+    "rules_by_id",
+    "summarize",
+]

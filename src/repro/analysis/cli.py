@@ -1,0 +1,177 @@
+"""``python -m repro.analysis`` — lint and sanitize verbs.
+
+::
+
+    python -m repro.analysis lint src/repro
+    python -m repro.analysis lint --format json --baseline analysis-baseline.txt
+    python -m repro.analysis lint --write-baseline analysis-baseline.txt
+    python -m repro.analysis sanitize --workload fir --scale 0.05
+    python -m repro.analysis sanitize --skip-determinism --format json
+
+``lint`` exits non-zero when any error-severity finding survives pragmas
+and the baseline (``--strict`` also fails on warnings).  ``sanitize``
+builds a small preset, runs it with every runtime sanitizer armed, then
+dual-runs it to check the determinism contract; any
+:class:`~repro.errors.SanitizerError` exits non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.lint import Baseline, lint_paths, summarize
+from repro.analysis.rules import ALL_RULES
+
+DEFAULT_LINT_PATHS = ["src/repro"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static determinism lint and runtime sanitizers.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    lint = verbs.add_parser("lint", help="run hdpat-lint over source trees")
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help=f"files/directories to lint (default: {DEFAULT_LINT_PATHS})",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default %(default)s)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression file of grandfathered findings",
+    )
+    lint.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write current findings as a new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--strict", action="store_true",
+        help="warnings also fail the run (default: errors only)",
+    )
+
+    sanitize = verbs.add_parser(
+        "sanitize", help="run a small preset with runtime sanitizers armed"
+    )
+    sanitize.add_argument("--workload", default="fir")
+    sanitize.add_argument("--scale", type=float, default=0.05)
+    sanitize.add_argument("--mesh", default="7x7", help="mesh as WxH")
+    sanitize.add_argument("--seed", type=int, default=42)
+    sanitize.add_argument(
+        "--hdpat", action="store_true",
+        help="sanitize the full HDPAT configuration (default: baseline)",
+    )
+    sanitize.add_argument(
+        "--skip-determinism", action="store_true",
+        help="skip the dual-run digest comparison",
+    )
+    sanitize.add_argument(
+        "--format", choices=("text", "json"), default="text",
+    )
+    return parser
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    paths = args.paths or DEFAULT_LINT_PATHS
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    findings, baselined = lint_paths(paths, baseline=baseline)
+
+    if args.write_baseline:
+        with open(args.write_baseline, "w", encoding="utf-8") as handle:
+            handle.write(Baseline.render(findings))
+        print(f"baseline: {len(findings)} finding(s) -> {args.write_baseline}")
+        return 0
+
+    summary = summarize(findings)
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summary,
+            "baselined": baselined,
+            "rules": sorted(rule.id for rule in ALL_RULES),
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}:{finding.col}: "
+                  f"{finding.rule_id} [{finding.severity}] {finding.message}")
+        print(f"hdpat-lint: {summary['errors']} error(s), "
+              f"{summary['warnings']} warning(s)"
+              + (f", {baselined} baselined" if baselined else ""))
+    failed = summary["errors"] > 0 or (args.strict and summary["warnings"] > 0)
+    return 1 if failed else 0
+
+
+def run_sanitize(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint verb must work without building a system.
+    from repro.analysis.sanitizers import check_determinism
+    from repro.config.hdpat import HDPATConfig
+    from repro.config.scaling import capacity_scaled
+    from repro.config.system import SystemConfig
+    from repro.errors import SanitizerError
+    from repro.system.runner import run_benchmark
+
+    try:
+        width, height = (int(part) for part in args.mesh.lower().split("x"))
+    except ValueError:
+        print(f"error: --mesh must look like 7x7, got {args.mesh!r}",
+              file=sys.stderr)
+        return 2
+    hdpat = HDPATConfig.full() if args.hdpat else HDPATConfig.baseline()
+    config = capacity_scaled(
+        SystemConfig(
+            mesh_width=width, mesh_height=height, hdpat=hdpat, seed=args.seed
+        ),
+        args.scale,
+    )
+    report = {"workload": args.workload, "scale": args.scale,
+              "mesh": args.mesh, "seed": args.seed}
+    try:
+        result = run_benchmark(
+            config, args.workload, scale=args.scale, seed=args.seed,
+            sanitize=True,
+        )
+        report["sanitizers"] = result.extras["sanitizers"]
+        if not args.skip_determinism:
+            report["determinism_digest"] = check_determinism(
+                config, args.workload, scale=args.scale, seed=args.seed
+            )
+    except SanitizerError as exc:
+        report["violation"] = {"type": type(exc).__name__, "message": str(exc)}
+        if args.format == "json":
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            print(f"SANITIZER VIOLATION [{type(exc).__name__}]: {exc}",
+                  file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        sanitizers = report["sanitizers"]
+        print(f"sanitize: {args.workload} scale={args.scale} mesh={args.mesh} "
+              f"— clean")
+        print(f"  events checked:    {sanitizers['events_checked']:,}")
+        print(f"  schedules checked: {sanitizers['schedules_checked']:,}")
+        print(f"  buffers watched:   {sanitizers['buffers_watched']}")
+        print(f"  messages delivered:{sanitizers['messages_delivered']:,}")
+        if "determinism_digest" in report:
+            print(f"  determinism:       dual-run digest "
+                  f"{report['determinism_digest'][:16]}... (match)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.verb == "lint":
+        return run_lint(args)
+    return run_sanitize(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

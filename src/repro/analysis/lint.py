@@ -1,0 +1,240 @@
+"""hdpat-lint driver: file walking, layer mapping, pragmas, baselines.
+
+The driver parses each module once, runs every applicable
+:class:`~repro.analysis.rules.Rule`, and filters the findings through two
+suppression mechanisms:
+
+* **Pragmas** — a ``# lint:`` comment on the offending line:
+  ``# lint: disable=WAL001`` (or ``disable=all``), or a rule's named tag
+  such as ``# lint: allow-wallclock``.
+* **Baseline file** — grandfathered findings listed one per line as
+  ``RULEID:path:line`` (``*`` wildcards the line).  Lines starting with
+  ``#`` and blanks are ignored.  The shipped ``analysis-baseline.txt`` is
+  empty: the tree lints clean.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import (
+    ALL_RULES,
+    Finding,
+    Rule,
+    iter_rules,
+)
+
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*(?P<body>[^#]*)")
+
+
+def layer_of(path: str) -> str:
+    """Map a file path to its lint layer.
+
+    The layer is the package segment directly under ``repro``
+    (``src/repro/noc/link.py`` -> ``noc``); top-level modules such as
+    ``units.py`` map to ``root``.  Paths outside a ``repro`` package also
+    map to ``root`` — the strictest scope — so ad-hoc files get the full
+    deterministic rule set unless a layer is given explicitly.
+    """
+    parts = os.path.normpath(path).split(os.sep)
+    if "repro" in parts:
+        index = parts.index("repro")
+        remainder = parts[index + 1:]
+        if len(remainder) >= 2:
+            return remainder[0]
+    return "root"
+
+
+def _pragma_suppressions(line: str) -> Tuple[Set[str], Set[str]]:
+    """Parse ``# lint:`` pragmas on a source line.
+
+    Returns ``(disabled_rule_ids, allow_tags)``; ``disable=all`` yields
+    the sentinel id ``"all"``.
+    """
+    match = _PRAGMA_RE.search(line)
+    if not match:
+        return set(), set()
+    disabled: Set[str] = set()
+    tags: Set[str] = set()
+    for token in match.group("body").replace(",", " ").split():
+        if token.startswith("disable="):
+            disabled.update(
+                part for part in token[len("disable="):].split(",") if part
+            )
+        elif token.startswith("allow-"):
+            tags.add(token[len("allow-"):])
+    return disabled, tags
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    layer: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    resolved_layer = layer if layer is not None else layer_of(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(
+            rule_id="PARSE",
+            path=path,
+            line=exc.lineno or 1,
+            col=exc.offset or 0,
+            message=f"syntax error: {exc.msg}",
+            severity="error",
+            layer=resolved_layer,
+        )]
+    lines = source.splitlines()
+    findings: List[Finding] = []
+    for rule in iter_rules(resolved_layer, rules):
+        severity = rule.severity_for(resolved_layer)
+        for line_no, col, message in rule.check(tree, resolved_layer):
+            source_line = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
+            disabled, tags = _pragma_suppressions(source_line)
+            if "all" in disabled or rule.id in disabled:
+                continue
+            if rule.pragma is not None and rule.pragma[len("allow-"):] in tags:
+                continue
+            findings.append(Finding(
+                rule_id=rule.id,
+                path=path,
+                line=line_no,
+                col=col,
+                message=message,
+                severity=severity,
+                layer=resolved_layer,
+            ))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Expand files and directories into sorted ``.py`` file paths."""
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [
+                    d for d in dirnames
+                    if not d.startswith(".") and d != "__pycache__"
+                    and not d.endswith(".egg-info")
+                ]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        yield os.path.join(dirpath, filename)
+        elif path.endswith(".py"):
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional["Baseline"] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``.
+
+    Returns ``(findings, baselined_count)`` where findings suppressed by
+    the baseline are excluded but counted.
+    """
+    findings: List[Finding] = []
+    baselined = 0
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        for finding in lint_source(source, path=file_path, rules=rules):
+            if baseline is not None and baseline.covers(finding):
+                baselined += 1
+                continue
+            findings.append(finding)
+    return findings, baselined
+
+
+class Baseline:
+    """Grandfathered-finding suppression list.
+
+    Entries are ``RULEID:path:line`` with ``/``-normalised relative paths;
+    ``line`` may be ``*`` to cover a whole file (robust to drift while a
+    cleanup is in flight).
+    """
+
+    def __init__(self, entries: Optional[Iterable[str]] = None) -> None:
+        self._exact: Set[str] = set()
+        self._wildcard: Set[Tuple[str, str]] = set()
+        for entry in entries or ():
+            self.add_entry(entry)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        baseline = cls()
+        if not os.path.exists(path):
+            return baseline
+        with open(path, "r", encoding="utf-8") as handle:
+            for raw in handle:
+                line = raw.strip()
+                if line and not line.startswith("#"):
+                    baseline.add_entry(line)
+        return baseline
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        return os.path.normpath(path).replace(os.sep, "/")
+
+    def add_entry(self, entry: str) -> None:
+        rule_id, path, line = entry.rsplit(":", 2)
+        path = self._normalize(path)
+        if line == "*":
+            self._wildcard.add((rule_id, path))
+        else:
+            self._exact.add(f"{rule_id}:{path}:{line}")
+
+    def covers(self, finding: Finding) -> bool:
+        path = self._normalize(finding.path)
+        if (finding.rule_id, path) in self._wildcard:
+            return True
+        return f"{finding.rule_id}:{path}:{finding.line}" in self._exact
+
+    def __len__(self) -> int:
+        return len(self._exact) + len(self._wildcard)
+
+    @staticmethod
+    def render(findings: Sequence[Finding]) -> str:
+        """Serialise findings as baseline entries (for --write-baseline)."""
+        lines = [
+            "# hdpat-lint baseline: grandfathered findings, one per line as",
+            "# RULEID:path:line ('*' wildcards the line). Shrink, never grow.",
+        ]
+        lines.extend(
+            f"{f.rule_id}:{Baseline._normalize(f.path)}:{f.line}"
+            for f in findings
+        )
+        return "\n".join(lines) + "\n"
+
+
+def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
+    """Finding counts by rule id, plus error/warning totals."""
+    summary: Dict[str, int] = {"errors": 0, "warnings": 0}
+    for finding in findings:
+        summary[finding.rule_id] = summary.get(finding.rule_id, 0) + 1
+        if finding.severity == "error":
+            summary["errors"] += 1
+        else:
+            summary["warnings"] += 1
+    return summary
+
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "Finding",
+    "Rule",
+    "iter_python_files",
+    "layer_of",
+    "lint_paths",
+    "lint_source",
+    "summarize",
+]

@@ -1,0 +1,249 @@
+"""Runtime sanitizers: machine-checked invariants for live simulations.
+
+A :class:`SanitizerContext` rides on a :class:`~repro.sim.engine.Simulator`
+built with ``sanitize=True`` (or a ``--sanitize`` CLI run).  Components
+discover it via ``sim.sanitizer`` and register themselves; the engine calls
+:meth:`SanitizerContext.at_quiesce` once the event queue drains cleanly.
+
+Four sanitizers ship:
+
+* :class:`EventOrderSanitizer` — no event scheduled in the past, and the
+  heap pops monotonically non-decreasing timestamps (catches components
+  that poke ``sim._queue`` directly).
+* :class:`ConservationSanitizer` — NoC byte conservation: every message
+  sent is delivered by quiesce, and each link's traffic counters match an
+  independently-kept shadow ledger.
+* :class:`BufferLeakSanitizer` — every finite buffer is drained when the
+  simulation ends.
+* :func:`check_determinism` — dual-runs a config and compares result
+  digests, the invariant the exec-layer disk cache depends on.
+
+Violations raise typed errors from :mod:`repro.errors`
+(:class:`~repro.errors.EventOrderError`,
+:class:`~repro.errors.ConservationError`,
+:class:`~repro.errors.BufferLeakError`,
+:class:`~repro.errors.DeterminismError`), all subclasses of
+:class:`~repro.errors.SanitizerError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import (
+    BufferLeakError,
+    ConservationError,
+    DeterminismError,
+    EventOrderError,
+)
+
+Coordinate = Tuple[int, int]
+LinkKey = Tuple[Coordinate, Coordinate]
+
+
+class EventOrderSanitizer:
+    """Causality checks on the simulator's event heap."""
+
+    __slots__ = ("last_popped", "events_checked", "schedules_checked")
+
+    def __init__(self) -> None:
+        self.last_popped = 0
+        self.events_checked = 0
+        self.schedules_checked = 0
+
+    def on_schedule(self, time: int, now: int) -> None:
+        """Called before every heap push."""
+        self.schedules_checked += 1
+        if time < now:
+            raise EventOrderError(
+                f"event scheduled in the past: target cycle {time} < "
+                f"current cycle {now}"
+            )
+
+    def on_pop(self, time: int) -> None:
+        """Called after every heap pop, before the callback fires."""
+        self.events_checked += 1
+        if time < self.last_popped:
+            raise EventOrderError(
+                f"event heap lost monotonicity: popped cycle {time} after "
+                f"already processing cycle {self.last_popped} (was the heap "
+                f"mutated without heapq?)"
+            )
+        self.last_popped = time
+
+
+class ConservationSanitizer:
+    """Shadow ledger for one mesh network's traffic accounting.
+
+    The network reports every hop (:meth:`on_hop`) and send/delivery pair
+    (:meth:`on_send` / :meth:`deliver`); :meth:`check` at quiesce asserts
+    that nothing is still in flight and that each link's own byte counter
+    matches the ledger — a drift means some code path bumped link counters
+    out of band (the silent-miscount failure mode of traffic figures).
+    """
+
+    def __init__(self, network: Any) -> None:
+        self.network = network
+        self.shadow_link_bytes: Dict[LinkKey, int] = {}
+        self.sent = 0
+        self.delivered = 0
+
+    # -- recording hooks (hot path, called by MeshNetwork) -------------
+    def on_send(self) -> None:
+        self.sent += 1
+
+    def on_hop(self, key: LinkKey, size_bytes: int) -> None:
+        self.shadow_link_bytes[key] = (
+            self.shadow_link_bytes.get(key, 0) + size_bytes
+        )
+
+    def deliver(self, handler: Callable[[Any], None], message: Any) -> None:
+        """Delivery shim: count the arrival, then run the real handler."""
+        self.delivered += 1
+        handler(message)
+
+    # -- quiesce check -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return self.sent - self.delivered
+
+    def check(self) -> None:
+        if self.in_flight != 0:
+            raise ConservationError(
+                f"{self.network.name}: {self.in_flight} message(s) still in "
+                f"flight at quiesce ({self.sent} sent, "
+                f"{self.delivered} delivered)"
+            )
+        for key, link in self.network._links.items():
+            expected = self.shadow_link_bytes.get(key, 0)
+            if link.bytes_carried != expected:
+                raise ConservationError(
+                    f"{self.network.name}: link {key[0]}->{key[1]} carries "
+                    f"{link.bytes_carried} bytes but the shadow ledger "
+                    f"injected {expected} — link accounting drifted"
+                )
+        # Every ledger entry must have a matching link object.
+        missing = set(self.shadow_link_bytes) - set(self.network._links)
+        if missing:
+            raise ConservationError(
+                f"{self.network.name}: ledger has traffic on links the "
+                f"network never created: {sorted(missing)}"
+            )
+
+
+class BufferLeakSanitizer:
+    """Asserts all watched finite buffers are empty at quiesce."""
+
+    def __init__(self) -> None:
+        self._buffers: List[Any] = []
+
+    def watch(self, buffer: Any) -> None:
+        self._buffers.append(buffer)
+
+    @property
+    def watched(self) -> int:
+        return len(self._buffers)
+
+    def check(self) -> None:
+        leaked = [
+            (buffer.name, len(buffer))
+            for buffer in self._buffers
+            if len(buffer) > 0
+        ]
+        if leaked:
+            detail = ", ".join(f"{name} holds {count}" for name, count in leaked)
+            raise BufferLeakError(
+                f"{len(leaked)} buffer(s) not drained at quiesce: {detail}"
+            )
+
+
+class SanitizerContext:
+    """The per-simulator bundle of sanitizers and their quiesce report."""
+
+    def __init__(self) -> None:
+        self.event_order = EventOrderSanitizer()
+        self.buffer_leak = BufferLeakSanitizer()
+        self.conservation: List[ConservationSanitizer] = []
+        self.quiesce_checks_run = 0
+
+    # -- registration (called by components at construction) -----------
+    def watch_buffer(self, buffer: Any) -> None:
+        self.buffer_leak.watch(buffer)
+
+    def watch_network(self, network: Any) -> ConservationSanitizer:
+        sanitizer = ConservationSanitizer(network)
+        self.conservation.append(sanitizer)
+        return sanitizer
+
+    # -- quiesce -------------------------------------------------------
+    def at_quiesce(self) -> None:
+        """Run end-of-simulation checks; raises on the first violation."""
+        self.quiesce_checks_run += 1
+        for sanitizer in self.conservation:
+            sanitizer.check()
+        self.buffer_leak.check()
+
+    def report(self) -> Dict[str, object]:
+        """Machine-readable summary: what was checked, all clean."""
+        return {
+            "events_checked": self.event_order.events_checked,
+            "schedules_checked": self.event_order.schedules_checked,
+            "buffers_watched": self.buffer_leak.watched,
+            "networks_watched": len(self.conservation),
+            "messages_delivered": sum(
+                s.delivered for s in self.conservation
+            ),
+            "quiesce_checks_run": self.quiesce_checks_run,
+            "violations": 0,  # a violation raises; reaching here means clean
+        }
+
+
+# ----------------------------------------------------------------------
+# Determinism: dual-run digest comparison
+# ----------------------------------------------------------------------
+def result_digest(result: Any) -> str:
+    """Canonical sha256 over a RunResult (or plain dict) summary.
+
+    Uses sorted-key JSON of ``to_dict()`` so the digest is byte-stable
+    across processes — the same canonical form the exec-layer disk cache
+    serialises.
+    """
+    data = result.to_dict() if hasattr(result, "to_dict") else result
+    payload = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def check_determinism(
+    config: Any,
+    workload: str,
+    scale: float = 0.05,
+    seed: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    run_fn: Optional[Callable[..., Any]] = None,
+) -> str:
+    """Run ``workload`` on ``config`` twice; return the common digest.
+
+    Raises :class:`~repro.errors.DeterminismError` when the two runs'
+    digests differ — the invariant that lets "same config + seed" results
+    be served from the content-addressed disk cache.  ``run_fn`` is
+    injectable for tests; it defaults to
+    :func:`repro.system.runner.run_benchmark`.
+    """
+    if run_fn is None:
+        from repro.system.runner import run_benchmark
+
+        run_fn = run_benchmark
+    digests = []
+    for _attempt in range(2):
+        result = run_fn(
+            config, workload, scale=scale, seed=seed, max_cycles=max_cycles
+        )
+        digests.append(result_digest(result))
+    if digests[0] != digests[1]:
+        raise DeterminismError(
+            f"two runs of {workload!r} with the same config and seed "
+            f"diverged: {digests[0][:16]}... vs {digests[1][:16]}..."
+        )
+    return digests[0]

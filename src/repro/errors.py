@@ -29,6 +29,34 @@ class ObservabilityError(ReproError):
     """Raised for invalid tracing/metrics operations (e.g. span mismatch)."""
 
 
+class SanitizerError(ReproError):
+    """Base class for runtime-sanitizer violations (``repro.analysis``).
+
+    Sanitizers check invariants the figures silently depend on; a subclass
+    of this error means the simulation itself is wrong, not the workload.
+    """
+
+
+class EventOrderError(SanitizerError):
+    """The event heap lost causality: an event was scheduled in the past,
+    or the heap popped a timestamp behind one already processed."""
+
+
+class ConservationError(SanitizerError):
+    """NoC byte conservation failed: bytes injected != bytes delivered +
+    bytes in flight, or a link's traffic counters drifted from the shadow
+    accounting kept by the sanitizer."""
+
+
+class BufferLeakError(SanitizerError):
+    """A finite buffer still held items after the simulation quiesced."""
+
+
+class DeterminismError(SanitizerError):
+    """Two runs of the same config + seed produced different result
+    digests — the invariant the disk result cache depends on."""
+
+
 class ReproWarning(UserWarning):
     """Base class for warnings the simulator emits about suspect results."""
 

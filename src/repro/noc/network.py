@@ -46,6 +46,11 @@ class MeshNetwork(Component):
         super().__init__(sim, "mesh")
         self.obs = obs if obs is not None else NULL_OBS
         self._tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        sanitizer = getattr(sim, "sanitizer", None)
+        #: Byte-conservation shadow ledger, armed by ``sanitize=True`` runs.
+        self._conservation = (
+            sanitizer.watch_network(self) if sanitizer is not None else None
+        )
         self.topology = topology
         self.link_latency = link_latency
         self.link_bytes_per_cycle = bytes_per_cycle(link_bandwidth_bytes_per_sec)
@@ -110,13 +115,22 @@ class MeshNetwork(Component):
                 arrival = self._link(src, dst).transmit(
                     arrival, message.size_bytes, message.is_translation_traffic
                 )
+                if self._conservation is not None:
+                    self._conservation.on_hop((src, dst), message.size_bytes)
                 if hop_times is not None:
                     hop_times.append([list(src), list(dst), arrival])
         else:
             arrival += 1
         if self._tracer is not None:
             self._trace_send(message, sent_at, arrival, hop_times)
-        self.sim.schedule_at(arrival, lambda: handler(message))
+        if self._conservation is None:
+            self.sim.schedule_at(arrival, lambda: handler(message))
+        else:
+            conservation = self._conservation
+            conservation.on_send()
+            self.sim.schedule_at(
+                arrival, lambda: conservation.deliver(handler, message)
+            )
         return arrival
 
     def _trace_send(

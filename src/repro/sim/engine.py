@@ -9,10 +9,13 @@ which keeps every run reproducible for a fixed seed.
 from __future__ import annotations
 
 import heapq
-from time import perf_counter
-from typing import Callable, List, Optional, Tuple
+from time import perf_counter  # lint: allow-wallclock (host profiler only)
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizers import SanitizerContext
 
 Callback = Callable[[], None]
 
@@ -31,7 +34,10 @@ class Simulator:
     """
 
     def __init__(
-        self, max_cycles: Optional[int] = None, profiler=None
+        self,
+        max_cycles: Optional[int] = None,
+        profiler=None,
+        sanitize: bool = False,
     ) -> None:
         self.now: int = 0
         self.max_cycles = max_cycles
@@ -44,6 +50,14 @@ class Simulator:
         #: see :class:`repro.obs.profile.HostProfiler`).  When attached,
         #: :meth:`run` times every callback by its qualified name.
         self.profiler = profiler
+        #: Runtime sanitizers (:class:`repro.analysis.SanitizerContext`).
+        #: Components discover it via ``sim.sanitizer`` and register their
+        #: invariants; None when sanitizing is off (the default).
+        self.sanitizer: Optional["SanitizerContext"] = None
+        if sanitize:
+            from repro.analysis.sanitizers import SanitizerContext
+
+            self.sanitizer = SanitizerContext()
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -56,6 +70,8 @@ class Simulator:
 
     def schedule_at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` to fire at absolute cycle ``time``."""
+        if self.sanitizer is not None:
+            self.sanitizer.event_order.on_schedule(time, self.now)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at cycle {time}, current cycle is {self.now}"
@@ -77,6 +93,8 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
+        if self.sanitizer is not None:
+            self.sanitizer.event_order.on_pop(time)
         if self.max_cycles is not None and time > self.max_cycles:
             self._dropped_events += 1 + len(self._queue)
             self._queue.clear()
@@ -91,6 +109,8 @@ class Simulator:
         if not self._queue:
             return False
         time, _seq, callback = heapq.heappop(self._queue)
+        if self.sanitizer is not None:
+            self.sanitizer.event_order.on_pop(time)
         if self.max_cycles is not None and time > self.max_cycles:
             self._dropped_events += 1 + len(self._queue)
             self._queue.clear()
@@ -118,6 +138,14 @@ class Simulator:
                     pass
         finally:
             self._running = False
+        # Quiesce checks only make sense for a drained (not truncated) run:
+        # truncation legitimately strands messages and buffer entries.
+        if (
+            self.sanitizer is not None
+            and not self._queue
+            and self._dropped_events == 0
+        ):
+            self.sanitizer.at_quiesce()
         return self.now
 
     def run_until(self, time: int) -> int:

@@ -57,6 +57,9 @@ class FiniteBuffer(Component):
         self.peak_occupancy = 0
         self._area = 0  # time-weighted occupancy integral
         self._last_change = 0
+        sanitizer = getattr(sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.watch_buffer(self)
 
     def _account(self) -> None:
         now = self.sim.now

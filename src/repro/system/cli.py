@@ -65,6 +65,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep Table I capacities despite the reduced workload scale",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="arm the runtime sanitizers (event order, NoC byte "
+             "conservation, buffer leaks); violations raise typed errors",
+    )
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -149,9 +154,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             sample_period=args.sample_period,
         )
     result = run_benchmark(
-        config, benchmark, scale=args.scale, seed=args.seed, obs=obs
+        config, benchmark, scale=args.scale, seed=args.seed, obs=obs,
+        sanitize=args.sanitize,
     )
     notice = sys.stderr if args.json else sys.stdout
+    if args.sanitize:
+        sanitizers = result.extras.get("sanitizers", {})
+        print(f"sanitizers: clean "
+              f"({sanitizers.get('events_checked', 0):,} events, "
+              f"{sanitizers.get('buffers_watched', 0)} buffers, "
+              f"{sanitizers.get('messages_delivered', 0):,} deliveries "
+              f"checked)", file=notice)
     if args.trace:
         count = write_trace(obs.tracer.events, args.trace)
         print(f"trace: {count} events -> {args.trace}", file=notice)

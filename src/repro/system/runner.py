@@ -32,6 +32,7 @@ def run_benchmark(
     sample_buffer_every: Optional[int] = None,
     max_cycles: Optional[int] = None,
     obs: Optional[Observability] = None,
+    sanitize: bool = False,
 ) -> RunResult:
     """Run one benchmark on one configuration and return its results.
 
@@ -40,11 +41,14 @@ def run_benchmark(
     sampler (Figure 4); ``policy`` overrides the config-derived policy
     (used for the SOTA baselines); ``obs`` attaches a fresh
     :class:`~repro.obs.Observability` whose metrics snapshot lands in
-    ``RunResult.extras["metrics"]``.
+    ``RunResult.extras["metrics"]``; ``sanitize`` arms the runtime
+    sanitizers (event order, NoC conservation, buffer leaks — see
+    docs/ANALYSIS.md), whose clean-run report lands in
+    ``RunResult.extras["sanitizers"]``.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)
-    wafer = WaferScaleGPU(config, policy=policy, obs=obs)
+    wafer = WaferScaleGPU(config, policy=policy, obs=obs, sanitize=sanitize)
     allocator = PageAllocator(wafer.address_space, wafer.num_gpms)
     trace = workload.generate(
         num_gpms=wafer.num_gpms,
@@ -67,7 +71,10 @@ def run_benchmark(
         )
 
     wafer.run(max_cycles=max_cycles)
-    return collect_result(wafer, trace, buffer_series)
+    result = collect_result(wafer, trace, buffer_series)
+    if wafer.sim.sanitizer is not None:
+        result.extras["sanitizers"] = wafer.sim.sanitizer.report()
+    return result
 
 
 def _prefetch_accuracy_raw(proactive_hits: int, prefetch_pushed: int) -> float:

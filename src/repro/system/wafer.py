@@ -34,10 +34,11 @@ class WaferScaleGPU:
         config: SystemConfig,
         policy: Optional[TranslationPolicy] = None,
         obs: Optional[Observability] = None,
+        sanitize: bool = False,
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS
-        self.sim = Simulator(profiler=self.obs.profiler)
+        self.sim = Simulator(profiler=self.obs.profiler, sanitize=sanitize)
         self.topology = MeshTopology(config.mesh_width, config.mesh_height)
         self.network = MeshNetwork(
             self.sim,

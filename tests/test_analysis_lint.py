@@ -1,0 +1,252 @@
+"""hdpat-lint tests: every rule fires on a seeded violation (none is
+vacuous), pragmas and baselines suppress, and the shipped tree is clean."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_paths, lint_source, rules_by_id
+from repro.analysis.lint import Baseline, layer_of, summarize
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def rule_ids(source, layer="sim", path="src/repro/sim/toy.py"):
+    source = textwrap.dedent(source)
+    return [f.rule_id for f in lint_source(source, path=path, layer=layer)]
+
+
+# ----------------------------------------------------------------------
+# Seeded violations: every rule must catch its own bug by id
+# ----------------------------------------------------------------------
+class TestSeededViolations:
+    def test_wal001_wallclock_import_and_call(self):
+        assert "WAL001" in rule_ids("from time import perf_counter\n")
+        assert "WAL001" in rule_ids("import time\n")
+        assert "WAL001" in rule_ids(
+            "import time  # lint: disable=all\n"
+            "def f():\n"
+            "    return time.time()\n"
+        )
+        assert "WAL001" in rule_ids(
+            "def f(datetime):\n"
+            "    return datetime.now()\n"
+        )
+
+    def test_wal001_allowed_in_host_layers(self):
+        assert rule_ids("from time import perf_counter\n", layer="exec") == []
+        assert rule_ids("import time\n", layer="experiments") == []
+
+    def test_rnd001_module_level_random(self):
+        assert "RND001" in rule_ids(
+            "import random  # lint: disable=all\n"
+            "def f():\n"
+            "    return random.randint(0, 7)\n"
+        )
+
+    def test_rnd001_seeded_instance_stays_legal(self):
+        assert rule_ids(
+            "import random  # lint: disable=all\n"
+            "def f(seed):\n"
+            "    rng = random.Random(seed)\n"
+            "    return rng.randint(0, 7)\n"
+        ) == []
+
+    def test_rnd002_unseeded_random_any_layer(self):
+        source = (
+            "import random  # lint: disable=all\n"
+            "rng = random.Random()\n"
+        )
+        assert "RND002" in rule_ids(source)
+        assert "RND002" in rule_ids(source, layer="experiments")
+
+    def test_ord001_set_iteration(self):
+        assert "ORD001" in rule_ids(
+            "def f(items):\n"
+            "    for item in set(items):\n"
+            "        yield item\n"
+        )
+        assert "ORD001" in rule_ids(
+            "def f(xs):\n"
+            "    return [x for x in {1, 2, 3}]\n"
+        )
+
+    def test_ord001_sorted_set_is_fine(self):
+        assert rule_ids(
+            "def f(items):\n"
+            "    for item in sorted(set(items)):\n"
+            "        yield item\n"
+        ) == []
+
+    def test_ord001_downgraded_to_warning_in_host_layers(self):
+        findings = lint_source(
+            "def f(items):\n    for item in set(items):\n        pass\n",
+            layer="exec",
+        )
+        assert [f.severity for f in findings] == ["warning"]
+
+    def test_mut001_mutable_default(self):
+        assert "MUT001" in rule_ids("def f(acc=[]):\n    return acc\n")
+        assert "MUT001" in rule_ids("def f(*, acc={}):\n    return acc\n")
+        assert "MUT001" in rule_ids("def f(acc=list()):\n    return acc\n")
+
+    def test_pck001_lambda_in_exec_layer_only(self):
+        source = "factory = lambda: 1\n"
+        assert "PCK001" in rule_ids(source, layer="exec")
+        assert rule_ids(source, layer="gpm") == []
+
+    def test_flt001_float_into_schedule(self):
+        assert "FLT001" in rule_ids(
+            "def f(sim, n):\n"
+            "    sim.schedule(n / 2, callback)\n"
+        )
+        assert "FLT001" in rule_ids(
+            "def f(sim):\n"
+            "    sim.schedule_at(1.5, callback)\n"
+        )
+
+    def test_flt001_int_truncation_is_fine(self):
+        assert rule_ids(
+            "def f(sim, n):\n"
+            "    sim.schedule(int(n / 2), callback)\n"
+        ) == []
+
+    def test_flt001_division_on_cycle_variable(self):
+        assert "FLT001" in rule_ids(
+            "def f(self):\n"
+            "    self.busy_until /= 2\n"
+        )
+
+    def test_met001_metric_name_scheme(self):
+        assert "MET001" in rule_ids(
+            "def f(registry):\n"
+            "    registry.counter('IOMMU.Walks')\n"
+        )
+        assert rule_ids(
+            "def f(registry):\n"
+            "    registry.counter('iommu.walks')\n"
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression: pragmas and baseline
+# ----------------------------------------------------------------------
+class TestSuppression:
+    def test_disable_pragma_by_rule_id(self):
+        assert rule_ids(
+            "def f(acc=[]):  # lint: disable=MUT001\n    return acc\n"
+        ) == []
+
+    def test_disable_all_pragma(self):
+        assert rule_ids("import time  # lint: disable=all\n") == []
+
+    def test_allow_wallclock_pragma(self):
+        assert rule_ids("import time  # lint: allow-wallclock\n") == []
+
+    def test_pragma_only_covers_its_line(self):
+        findings = rule_ids(
+            "import time  # lint: allow-wallclock\n"
+            "from time import perf_counter\n"
+        )
+        assert findings == ["WAL001"]
+
+    def test_baseline_suppresses_exact_and_wildcard(self):
+        findings = lint_source("def f(acc=[]):\n    return acc\n",
+                               path="src/repro/sim/toy.py", layer="sim")
+        assert len(findings) == 1
+        exact = Baseline([findings[0].key()])
+        assert exact.covers(findings[0])
+        wildcard = Baseline(["MUT001:src/repro/sim/toy.py:*"])
+        assert wildcard.covers(findings[0])
+        other = Baseline(["WAL001:src/repro/sim/toy.py:*"])
+        assert not other.covers(findings[0])
+
+    def test_baseline_load_ignores_comments(self, tmp_path):
+        baseline_file = tmp_path / "baseline.txt"
+        baseline_file.write_text("# comment\n\nMUT001:a/b.py:3\n")
+        baseline = Baseline.load(str(baseline_file))
+        assert len(baseline) == 1
+
+
+# ----------------------------------------------------------------------
+# Driver: layers, tree cleanliness, CLI
+# ----------------------------------------------------------------------
+class TestDriver:
+    def test_layer_mapping(self):
+        assert layer_of("src/repro/noc/link.py") == "noc"
+        assert layer_of("src/repro/units.py") == "root"
+        assert layer_of("src/repro/exec/jobs.py") == "exec"
+        assert layer_of("/abs/elsewhere/module.py") == "root"
+
+    def test_shipped_tree_is_clean_with_empty_baseline(self):
+        baseline = Baseline.load(os.path.join(REPO_ROOT,
+                                              "analysis-baseline.txt"))
+        assert len(baseline) == 0, "baseline must stay empty"
+        findings, baselined = lint_paths([SRC_REPRO], baseline=baseline)
+        assert findings == [], [f.to_dict() for f in findings]
+        assert baselined == 0
+
+    def test_summarize_counts(self):
+        findings = lint_source("def f(a=[], b={}):\n    return a, b\n",
+                               layer="sim")
+        summary = summarize(findings)
+        assert summary["MUT001"] == 2
+        assert summary["errors"] == 2
+
+    def test_rules_registry_has_stable_ids(self):
+        assert set(rules_by_id()) == {
+            "WAL001", "RND001", "RND002", "ORD001",
+            "MUT001", "PCK001", "FLT001", "MET001",
+        }
+
+    def test_syntax_error_is_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", layer="sim")
+        assert [f.rule_id for f in findings] == ["PARSE"]
+
+
+class TestCli:
+    def _run(self, *args, cwd=REPO_ROOT):
+        env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+        return subprocess.run(
+            [sys.executable, "-m", "repro.analysis", *args],
+            capture_output=True, text=True, env=env, cwd=cwd,
+        )
+
+    def test_lint_clean_tree_exits_zero(self):
+        proc = self._run("lint", SRC_REPRO, "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        assert payload["summary"]["errors"] == 0
+
+    def test_lint_violation_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\n\n\ndef f(acc=[]):\n    return acc\n")
+        proc = self._run("lint", str(bad), "--format", "json")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"WAL001", "MUT001"}
+
+    def test_write_baseline_then_lint_with_it_passes(self, tmp_path):
+        bad = tmp_path / "repro" / "sim" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(acc=[]):\n    return acc\n")
+        baseline = tmp_path / "baseline.txt"
+        write = self._run("lint", str(bad), "--write-baseline", str(baseline))
+        assert write.returncode == 0
+        rerun = self._run("lint", str(bad), "--baseline", str(baseline))
+        assert rerun.returncode == 0, rerun.stdout
+
+    def test_sanitize_verb_clean(self):
+        proc = self._run("sanitize", "--scale", "0.02", "--mesh", "5x5",
+                         "--format", "json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["sanitizers"]["violations"] == 0
+        assert "determinism_digest" in payload

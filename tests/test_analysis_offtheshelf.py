@@ -1,0 +1,39 @@
+"""Off-the-shelf pass: ruff + mypy on the layers pyproject.toml pins.
+
+Both tools are optional dependencies (``pip install -e .[analysis]``);
+these tests skip cleanly when they are not installed so the tier-1 suite
+stays runnable in minimal containers. CI's `analysis` job installs them
+and runs the same commands, so a skip here is never a silent gap.
+"""
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _has_module(name: str) -> bool:
+    return importlib.util.find_spec(name) is not None
+
+
+@pytest.mark.skipif(not _has_module("ruff"), reason="ruff not installed")
+def test_ruff_clean_on_sim_and_exec():
+    proc = subprocess.run(
+        [sys.executable, "-m", "ruff", "check",
+         "src/repro/sim", "src/repro/exec", "src/repro/analysis"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(not _has_module("mypy"), reason="mypy not installed")
+def test_mypy_clean_on_configured_files():
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--ignore-missing-imports"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,193 @@
+"""Runtime-sanitizer tests: each sanitizer must fire on a violating input
+and stay silent on a clean run."""
+
+import heapq
+
+import pytest
+
+from repro.analysis.sanitizers import check_determinism, result_digest
+from repro.config.system import SystemConfig
+from repro.errors import (
+    BufferLeakError,
+    ConservationError,
+    DeterminismError,
+    EventOrderError,
+    SanitizerError,
+)
+from repro.noc.messages import Message, MessageKind
+from repro.noc.network import MeshNetwork
+from repro.noc.topology import MeshTopology
+from repro.sim.engine import Simulator
+from repro.sim.queueing import FiniteBuffer
+from repro.system.runner import run_benchmark
+
+
+def make_message(src, dst, size=64):
+    return Message(
+        kind=MessageKind.TRANSLATION_REQ,
+        src=src,
+        dst=dst,
+        size_bytes=size,
+    )
+
+
+# ----------------------------------------------------------------------
+# EventOrderSanitizer
+# ----------------------------------------------------------------------
+class TestEventOrder:
+    def test_schedule_in_past_raises_typed_error(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(10, lambda: None)
+        sim.step()
+        assert sim.now == 10
+        with pytest.raises(EventOrderError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_direct_heap_corruption_caught_on_pop(self):
+        # A buggy component that bypasses schedule_at and pushes a stale
+        # timestamp straight into the heap is caught by the monotonicity
+        # check the moment the event pops.
+        sim = Simulator(sanitize=True)
+
+        def corrupt():
+            heapq.heappush(sim._queue, (3, 10_000, lambda: None))
+
+        sim.schedule(10, corrupt)
+        with pytest.raises(EventOrderError, match="monotonicity"):
+            sim.run()
+
+    def test_unsanitized_simulator_keeps_legacy_behaviour(self):
+        sim = Simulator()
+        assert sim.sanitizer is None
+        sim.schedule(1, lambda: None)
+        assert sim.run() == 1
+
+
+# ----------------------------------------------------------------------
+# BufferLeakSanitizer
+# ----------------------------------------------------------------------
+class TestBufferLeak:
+    def test_leaked_entry_raises_at_quiesce(self):
+        sim = Simulator(sanitize=True)
+        buffer = FiniteBuffer(sim, "toy_buffer", capacity=4)
+        buffer.push("stuck")
+        sim.schedule(5, lambda: None)
+        with pytest.raises(BufferLeakError, match="toy_buffer holds 1"):
+            sim.run()
+
+    def test_drained_buffer_is_clean(self):
+        sim = Simulator(sanitize=True)
+        buffer = FiniteBuffer(sim, "toy_buffer", capacity=4)
+        buffer.push("transient")
+        sim.schedule(5, buffer.pop)
+        sim.run()
+        assert sim.sanitizer.report()["buffers_watched"] == 1
+
+    def test_truncated_run_skips_quiesce_checks(self):
+        # Truncation legitimately strands buffer entries; the leak check
+        # must not fire for a run cut off at max_cycles.
+        sim = Simulator(max_cycles=3, sanitize=True)
+        buffer = FiniteBuffer(sim, "toy_buffer", capacity=4)
+        buffer.push("stranded")
+        sim.schedule(10, buffer.pop)
+        sim.run()
+        assert sim.truncated
+
+
+# ----------------------------------------------------------------------
+# ConservationSanitizer
+# ----------------------------------------------------------------------
+class TestConservation:
+    def _network(self, sim):
+        network = MeshNetwork(sim, MeshTopology(3, 3))
+        network.attach((1, 0), lambda message: None)
+        return network
+
+    def test_byte_count_mismatch_raises(self):
+        sim = Simulator(sanitize=True)
+        network = self._network(sim)
+        network.send(make_message((0, 0), (1, 0)))
+        # A toy component corrupts the link's byte counter out of band.
+        link = network._links[((0, 0), (1, 0))]
+        link.bytes_carried += 7
+        with pytest.raises(ConservationError, match="drifted"):
+            sim.run()
+
+    def test_undelivered_message_raises(self):
+        sim = Simulator(sanitize=True)
+        network = self._network(sim)
+        network.send(make_message((0, 0), (1, 0)))
+        # Simulate a lost delivery: drop the pending event, then quiesce.
+        sim._queue.clear()
+        with pytest.raises(ConservationError, match="in flight"):
+            sim.sanitizer.at_quiesce()
+
+    def test_clean_traffic_passes(self):
+        sim = Simulator(sanitize=True)
+        network = self._network(sim)
+        network.send(make_message((0, 0), (1, 0)))
+        network.send(make_message((0, 0), (1, 0), size=256))
+        sim.run()
+        report = sim.sanitizer.report()
+        assert report["messages_delivered"] == 2
+        assert report["quiesce_checks_run"] == 1
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    def test_dual_run_mismatch_raises(self):
+        class WobblyResult:
+            def __init__(self, value):
+                self.value = value
+
+            def to_dict(self):
+                return {"value": self.value}
+
+        calls = []
+
+        def wobbly_run(config, workload, **kwargs):
+            calls.append(workload)
+            return WobblyResult(len(calls))  # differs every run
+
+        with pytest.raises(DeterminismError, match="diverged"):
+            check_determinism(
+                SystemConfig(mesh_width=3, mesh_height=3),
+                "fir",
+                run_fn=wobbly_run,
+            )
+        assert len(calls) == 2
+
+    def test_real_small_run_is_deterministic(self):
+        digest = check_determinism(
+            SystemConfig(mesh_width=3, mesh_height=3), "fir",
+            scale=0.02, seed=7,
+        )
+        assert len(digest) == 64
+
+    def test_result_digest_is_canonical(self):
+        assert result_digest({"b": 1, "a": 2}) == result_digest({"a": 2, "b": 1})
+        assert result_digest({"a": 1}) != result_digest({"a": 2})
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a sanitized preset run is clean
+# ----------------------------------------------------------------------
+class TestSanitizedRun:
+    def test_small_preset_runs_clean(self):
+        result = run_benchmark(
+            SystemConfig(mesh_width=5, mesh_height=5), "fir",
+            scale=0.05, seed=42, sanitize=True,
+        )
+        report = result.extras["sanitizers"]
+        assert report["violations"] == 0
+        assert report["events_checked"] > 0
+        assert report["messages_delivered"] > 0
+        assert report["buffers_watched"] >= 1
+        assert report["quiesce_checks_run"] == 1
+
+    def test_all_sanitizer_errors_are_typed(self):
+        for error in (EventOrderError, ConservationError, BufferLeakError,
+                      DeterminismError):
+            assert issubclass(error, SanitizerError)
