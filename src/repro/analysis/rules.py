@@ -26,7 +26,7 @@ from typing import Iterable, Iterator, Optional, Tuple
 #: Layers whose code must be bit-deterministic.
 DETERMINISTIC_LAYERS = frozenset({
     "sim", "noc", "gpm", "tlb", "iommu", "mem", "core", "workloads",
-    "stats", "filters", "system", "config", "root",
+    "stats", "filters", "system", "config", "root", "faults",
 })
 
 #: Host-side layers allowed to read the wall clock (reporting, profiling,

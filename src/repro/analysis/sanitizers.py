@@ -89,10 +89,18 @@ class ConservationSanitizer:
         self.shadow_link_bytes: Dict[LinkKey, int] = {}
         self.sent = 0
         self.delivered = 0
+        #: Messages intentionally destroyed by fault injection.  The
+        #: network declares each drop (:meth:`on_drop`), so a fault-plan
+        #: drop balances the ledger while an *accidental* lost message
+        #: still trips the in-flight check.
+        self.dropped = 0
 
     # -- recording hooks (hot path, called by MeshNetwork) -------------
     def on_send(self) -> None:
         self.sent += 1
+
+    def on_drop(self) -> None:
+        self.dropped += 1
 
     def on_hop(self, key: LinkKey, size_bytes: int) -> None:
         self.shadow_link_bytes[key] = (
@@ -107,14 +115,15 @@ class ConservationSanitizer:
     # -- quiesce check -------------------------------------------------
     @property
     def in_flight(self) -> int:
-        return self.sent - self.delivered
+        return self.sent - self.delivered - self.dropped
 
     def check(self) -> None:
         if self.in_flight != 0:
             raise ConservationError(
                 f"{self.network.name}: {self.in_flight} message(s) still in "
                 f"flight at quiesce ({self.sent} sent, "
-                f"{self.delivered} delivered)"
+                f"{self.delivered} delivered, "
+                f"{self.dropped} dropped by fault injection)"
             )
         for key, link in self.network._links.items():
             expected = self.shadow_link_bytes.get(key, 0)
@@ -194,6 +203,9 @@ class SanitizerContext:
             "networks_watched": len(self.conservation),
             "messages_delivered": sum(
                 s.delivered for s in self.conservation
+            ),
+            "messages_dropped": sum(
+                s.dropped for s in self.conservation
             ),
             "quiesce_checks_run": self.quiesce_checks_run,
             "violations": 0,  # a violation raises; reaching here means clean

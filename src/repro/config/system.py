@@ -11,6 +11,7 @@ from repro.config.iommu import IOMMUConfig
 from repro.config.migration import MigrationConfig
 from repro.config.noc import NoCConfig
 from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
 from repro.mem.address import PAGE_SIZE_4K
 
 
@@ -28,6 +29,10 @@ class SystemConfig:
     page_size: int = PAGE_SIZE_4K
     #: Deterministic seed threaded through workload generation.
     seed: int = 42
+    #: Optional fault-injection plan (see :mod:`repro.faults`).  None (or
+    #: an empty plan) leaves every run byte-identical to the pre-fault
+    #: simulator.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.mesh_width < 1 or self.mesh_height < 1:
@@ -63,8 +68,17 @@ class SystemConfig:
     def with_migration(self, migration: MigrationConfig) -> "SystemConfig":
         return replace(self, migration=migration)
 
+    def with_faults(self, faults: Optional[FaultPlan]) -> "SystemConfig":
+        return replace(self, faults=faults)
+
     def describe(self) -> str:
         """A short human-readable identity line for logs and reports."""
+        # An absent or empty fault plan must not change the line: the
+        # description is part of every result digest, and the no-fault
+        # path carries a zero-drift guarantee.
+        faults = ""
+        if self.faults is not None and not self.faults.is_empty:
+            faults = f", faults[{self.faults.describe()}]"
         return (
             f"{self.mesh_width}x{self.mesh_height} wafer, "
             f"{self.num_gpms} GPMs ({self.gpm.name}), "
@@ -72,4 +86,5 @@ class SystemConfig:
             f"hdpat={self.hdpat.peer_caching.value}"
             f"{'+redir' if self.hdpat.use_redirection else ''}"
             f"{'+pf' + str(self.hdpat.prefetch_degree) if self.hdpat.prefetch_degree > 1 else ''}"
+            f"{faults}"
         )

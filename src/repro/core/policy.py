@@ -65,12 +65,29 @@ class TranslationPolicy:
     def gpm_by_id(self, gpm_id: int):
         return self.wafer.gpms[gpm_id]
 
+    def gpm_alive(self, gpm_id: int) -> bool:
+        """Whether a GPM survived the fault plan (always true without one)."""
+        faults = self.wafer.faults
+        return faults is None or faults.gpm_alive(gpm_id)
+
     # ------------------------------------------------------------------
     # Requester side
     # ------------------------------------------------------------------
     def start_remote(self, gpm, pending) -> None:
         """Default: send the request straight to the central IOMMU."""
         request = self.make_request(gpm, pending)
+        self.send_to_iommu(gpm.coordinate, request)
+
+    def retry_remote(self, gpm, pending) -> None:
+        """Fault-path retry: a fresh request straight to the IOMMU.
+
+        The retry bypasses peer probes and redirection (``no_redirect``) —
+        the first attempt already exercised the fancy path and was lost or
+        delayed past the timeout, so the retry takes the most dependable
+        route available: the full IOMMU walk.
+        """
+        request = self.make_request(gpm, pending)
+        request.no_redirect = True
         self.send_to_iommu(gpm.coordinate, request)
 
     def make_request(self, gpm, pending) -> TranslationRequest:
@@ -193,7 +210,8 @@ class _ChainPolicy(TranslationPolicy):
 
     def start_remote(self, gpm, pending) -> None:
         request = self.make_request(gpm, pending)
-        chain = self.chain_for(gpm, pending.vpn)
+        chain = [g for g in self.chain_for(gpm, pending.vpn)
+                 if self.gpm_alive(g)]
         if not chain:
             self.send_to_iommu(gpm.coordinate, request)
             return
@@ -347,7 +365,9 @@ class ClusterRotationPolicy(TranslationPolicy):
 
     def start_remote(self, gpm, pending) -> None:
         request = self.make_request(gpm, pending)
-        holders = self.holders_for(gpm.coordinate, pending.vpn)
+        holders = [(ring, holder_id)
+                   for ring, holder_id in self.holders_for(gpm.coordinate, pending.vpn)
+                   if self.gpm_alive(holder_id)]
         if not holders:
             self.send_to_iommu(gpm.coordinate, request)
             return
@@ -388,8 +408,14 @@ class ClusterRotationPolicy(TranslationPolicy):
 
     def push_targets(self, vpn: int) -> List[int]:
         return [
-            self.wafer.gpm_id_at(self.cluster_maps[ring].holder_of(vpn).coordinate)
-            for ring in self.layout.caching_rings
+            holder_id
+            for holder_id in (
+                self.wafer.gpm_id_at(
+                    self.cluster_maps[ring].holder_of(vpn).coordinate
+                )
+                for ring in self.layout.caching_rings
+            )
+            if self.gpm_alive(holder_id)
         ]
 
 

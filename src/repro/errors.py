@@ -29,6 +29,33 @@ class ObservabilityError(ReproError):
     """Raised for invalid tracing/metrics operations (e.g. span mismatch)."""
 
 
+class RoutingError(ReproError):
+    """Raised for undeliverable sends: an off-mesh coordinate, or a
+    destination tile with no attached handler.  Raising at ``send`` time
+    replaces the silent-hang failure mode where an undeliverable event
+    would sit in the queue forever."""
+
+
+class FaultError(ReproError):
+    """Base class for failures caused by an injected fault plan
+    (:mod:`repro.faults`).  Subclasses mean the *fault model* made a
+    request unservable — the simulation itself behaved correctly."""
+
+
+class UnreachableError(FaultError):
+    """No route exists between two tiles once the plan's dead links are
+    excluded (the fault set partitioned the mesh)."""
+
+
+class DeadDestinationError(FaultError):
+    """A message was addressed to a tile the fault plan disabled."""
+
+
+class TranslationTimeoutError(FaultError):
+    """A translation request exhausted its retry budget without ever
+    receiving a response."""
+
+
 class SanitizerError(ReproError):
     """Base class for runtime-sanitizer violations (``repro.analysis``).
 

@@ -15,6 +15,7 @@ per-job wall-clock histogram.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from time import perf_counter
@@ -22,6 +23,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.exec.diskcache import DiskResultCache
 from repro.exec.jobs import JobFailure, RunJob, execute_job, execute_job_timed
+from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.system.result import RunResult
 
@@ -40,19 +42,30 @@ class SweepExecutor:
         cache_dir=None,
         registry: Optional[MetricsRegistry] = None,
         job_timeout: Optional[float] = None,
-        retries: int = 1,
+        retries: int = 2,
+        retry_backoff: float = 0.25,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self.job_timeout = job_timeout
         self.retries = max(0, int(retries))
+        #: Deterministic exponential backoff between pool passes — the
+        #: same policy object the simulator's fault path uses, so retry
+        #: semantics are specified in exactly one place.
+        self.retry_policy = RetryPolicy(
+            max_retries=self.retries,
+            base_delay=float(retry_backoff),
+            multiplier=2.0,
+            max_delay=10.0,
+        )
         self.failures: List[JobFailure] = []
         reg = self.registry
         self._queued = reg.counter("sweep.jobs.queued")
         self._done = reg.counter("sweep.jobs.done")
         self._failed = reg.counter("sweep.jobs.failed")
         self._executed = reg.counter("sweep.jobs.executed")
+        self._retried = reg.counter("sweep.jobs.retries")
         self._hit_memory = reg.counter("sweep.jobs.cache_hit_memory")
         self._hit_disk = reg.counter("sweep.jobs.cache_hit_disk")
         self._running = reg.gauge("sweep.jobs.running")
@@ -145,6 +158,10 @@ class SweepExecutor:
         for attempt in range(1 + self.retries):
             if not pending:
                 break
+            if attempt:
+                # Deterministic exponential backoff before each retry pass
+                # (crashed pools often need a moment to release resources).
+                time.sleep(self.retry_policy.delay_for(attempt - 1))
             final = attempt == self.retries
             pending = self._map_once(jobs, pending, results, attempt + 1, final)
         return results
@@ -208,6 +225,7 @@ class SweepExecutor:
                             perf_counter() - started, kind="crash",
                         )
                     else:
+                        self._retried.inc()
                         retry.append(index)
                 except Exception as exc:
                     if final:
@@ -215,6 +233,7 @@ class SweepExecutor:
                             job, repr(exc), attempt, perf_counter() - started
                         )
                     else:
+                        self._retried.inc()
                         retry.append(index)
                 else:
                     self._executed.inc()

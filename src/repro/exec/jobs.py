@@ -35,7 +35,9 @@ from repro.system.runner import run_benchmark
 #: previously cached results without changing any config/workload identity
 #: (e.g. a correctness fix in the NoC accounting).  Part of every disk
 #: cache key — see docs/EXECUTION.md for when to bump vs when to wipe.
-CACHE_SCHEMA = 1
+#: 2: SystemConfig grew a ``faults`` field (its repr — and thus every
+#: key's material — changed shape).
+CACHE_SCHEMA = 2
 
 #: run_benchmark kwargs value types a job may carry across processes.
 _SIMPLE = (int, float, str, bool, type(None))

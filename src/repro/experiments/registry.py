@@ -6,6 +6,7 @@ from typing import Callable, Dict, List
 
 from repro.errors import ReproError
 from repro.experiments import (
+    ext_faults,
     ext_layers,
     ext_migration,
     ext_rotation,
@@ -60,6 +61,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "ext_threshold": ext_threshold.run,
     "ext_shootdown": ext_shootdown.run,
     "ext_migration": ext_migration.run,
+    "ext_faults": ext_faults.run,
 }
 
 EXPERIMENT_IDS: List[str] = list(_EXPERIMENTS)

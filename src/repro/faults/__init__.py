@@ -1,0 +1,19 @@
+"""Deterministic fault injection and graceful degradation.
+
+The subsystem has three pieces:
+
+* :class:`~repro.faults.plan.FaultPlan` — seeded, serializable fault
+  configuration carried on ``SystemConfig.faults``;
+* :class:`~repro.faults.state.FaultState` — the per-run live view the
+  network, GPMs, policies, and IOMMU consult;
+* :class:`~repro.faults.retry.RetryPolicy` — deterministic bounded
+  exponential backoff, shared with the exec layer's job retries.
+
+See docs/ROBUSTNESS.md for the fault model and degradation-curve harness.
+"""
+
+from repro.faults.plan import FaultPlan, degradation_plan
+from repro.faults.retry import RetryPolicy
+from repro.faults.state import FaultState
+
+__all__ = ["FaultPlan", "FaultState", "RetryPolicy", "degradation_plan"]

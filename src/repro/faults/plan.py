@@ -1,0 +1,281 @@
+"""The fault plan: a seeded, serializable description of what breaks.
+
+A :class:`FaultPlan` is pure configuration — frozen, hashable, and JSON
+round-trippable — carried on :class:`~repro.config.system.SystemConfig`.
+It names the *permanent* faults (dead mesh links, dead GPM tiles) and the
+*transient* fault rates (message drop / delay / duplication on the
+translation plane), plus the timeout/retry parameters the degradation
+machinery runs with.  All randomness is drawn from ``random.Random(seed)``
+streams, never the global generator, so every fault schedule is a pure
+function of the plan.
+
+:func:`FaultPlan.generate` synthesises a plan for a mesh: it samples dead
+GPMs (never the CPU tile) and dead links, rejecting any link whose removal
+would disconnect the mesh — yield faults degrade the wafer, they must not
+partition it (a partitioned mesh raises
+:class:`~repro.errors.UnreachableError` at routing time instead).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+Coordinate = Tuple[int, int]
+LinkSpec = Tuple[Coordinate, Coordinate]
+
+#: Default end-to-end translation timeout.  Generous against the worst
+#: *congested* no-fault RTT (a saturated IOMMU's pre-queue alone reaches
+#: tens of thousands of cycles on the baseline), so a slow-but-alive
+#: response rarely triggers a spurious retry that would amplify the
+#: congestion it is stuck in.
+DEFAULT_TIMEOUT_CYCLES = 100_000
+
+#: Base backoff before the first retry of a timed-out translation.
+DEFAULT_RETRY_BACKOFF_CYCLES = 10_000
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One deterministic fault scenario."""
+
+    seed: int = 0
+    #: Undirected dead links as canonical (min-endpoint, max-endpoint)
+    #: pairs; both directions of each are dead.
+    dead_links: Tuple[LinkSpec, ...] = ()
+    #: Coordinates of GPM tiles that are entirely dead (no compute, no
+    #: page-table service; the interposer routes *through* them).
+    dead_gpms: Tuple[Coordinate, ...] = ()
+    #: Per-message transient fault probabilities on the translation plane.
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    duplicate_prob: float = 0.0
+    #: Extra latency a delayed message pays.
+    delay_cycles: int = 256
+    #: End-to-end translation timeout and bounded-retry parameters.
+    timeout_cycles: int = DEFAULT_TIMEOUT_CYCLES
+    retry_backoff_cycles: int = DEFAULT_RETRY_BACKOFF_CYCLES
+    max_retries: int = 4
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "delay_prob", "duplicate_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_prob + self.delay_prob + self.duplicate_prob > 1.0:
+            raise ConfigurationError(
+                "drop_prob + delay_prob + duplicate_prob must not exceed 1"
+            )
+        if self.timeout_cycles <= 0:
+            raise ConfigurationError("timeout_cycles must be positive")
+        if self.delay_cycles < 0 or self.retry_backoff_cycles < 0:
+            raise ConfigurationError("fault delays must be non-negative")
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        object.__setattr__(
+            self, "dead_links", tuple(sorted(_canonical(l) for l in self.dead_links))
+        )
+        object.__setattr__(
+            self, "dead_gpms", tuple(sorted(tuple(c) for c in self.dead_gpms))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing — runs must then be
+        byte-identical to a plan-less run."""
+        return (
+            not self.dead_links
+            and not self.dead_gpms
+            and self.drop_prob == 0.0
+            and self.delay_prob == 0.0
+            and self.duplicate_prob == 0.0
+        )
+
+    @property
+    def has_transients(self) -> bool:
+        return (
+            self.drop_prob > 0.0
+            or self.delay_prob > 0.0
+            or self.duplicate_prob > 0.0
+        )
+
+    def describe(self) -> str:
+        """Short identity string for ``SystemConfig.describe()`` lines."""
+        parts = [f"seed={self.seed}"]
+        if self.dead_links:
+            parts.append(f"links-{len(self.dead_links)}")
+        if self.dead_gpms:
+            parts.append(f"gpms-{len(self.dead_gpms)}")
+        if self.has_transients:
+            parts.append(
+                f"t{self.drop_prob:.3f}/{self.delay_prob:.3f}"
+                f"/{self.duplicate_prob:.3f}"
+            )
+        return ",".join(parts)
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "dead_links": [[list(a), list(b)] for a, b in self.dead_links],
+            "dead_gpms": [list(c) for c in self.dead_gpms],
+            "drop_prob": self.drop_prob,
+            "delay_prob": self.delay_prob,
+            "duplicate_prob": self.duplicate_prob,
+            "delay_cycles": self.delay_cycles,
+            "timeout_cycles": self.timeout_cycles,
+            "retry_backoff_cycles": self.retry_backoff_cycles,
+            "max_retries": self.max_retries,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
+        return cls(
+            seed=data["seed"],
+            dead_links=tuple(
+                (tuple(a), tuple(b)) for a, b in data.get("dead_links", ())
+            ),
+            dead_gpms=tuple(tuple(c) for c in data.get("dead_gpms", ())),
+            drop_prob=data.get("drop_prob", 0.0),
+            delay_prob=data.get("delay_prob", 0.0),
+            duplicate_prob=data.get("duplicate_prob", 0.0),
+            delay_cycles=data.get("delay_cycles", 256),
+            timeout_cycles=data.get("timeout_cycles", DEFAULT_TIMEOUT_CYCLES),
+            retry_backoff_cycles=data.get(
+                "retry_backoff_cycles", DEFAULT_RETRY_BACKOFF_CYCLES
+            ),
+            max_retries=data.get("max_retries", 4),
+        )
+
+    # ------------------------------------------------------------------
+    # Synthesis
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        width: int,
+        height: int,
+        seed: int = 0,
+        link_fraction: float = 0.0,
+        gpm_fraction: float = 0.0,
+        **kwargs,
+    ) -> "FaultPlan":
+        """Sample a plan for a ``width x height`` mesh.
+
+        ``link_fraction`` / ``gpm_fraction`` of the mesh's links / GPM
+        tiles die.  The CPU tile never dies, and links are killed only
+        while the mesh stays connected (candidates whose removal would
+        partition it are skipped deterministically).  Extra keyword
+        arguments (``drop_prob`` etc.) pass through to the constructor.
+        """
+        if not 0.0 <= link_fraction <= 1.0 or not 0.0 <= gpm_fraction <= 1.0:
+            raise ConfigurationError("fault fractions must be in [0, 1]")
+        rng = random.Random(seed)
+        cpu = (width // 2, height // 2)
+        gpm_coords = [
+            (x, y)
+            for y in range(height)
+            for x in range(width)
+            if (x, y) != cpu
+        ]
+        # Shuffle-then-prefix (not rng.sample): with a fixed seed the dead
+        # set at a higher fraction strictly contains the dead set at a
+        # lower one, so severity sweeps degrade nested scenarios instead
+        # of jumping between unrelated ones.
+        rng.shuffle(gpm_coords)
+        dead_gpms = sorted(
+            gpm_coords[: int(len(gpm_coords) * gpm_fraction)]
+        )
+        links = _mesh_links(width, height)
+        candidates = list(links)
+        rng.shuffle(candidates)
+        quota = int(len(links) * link_fraction)
+        dead_links: List[LinkSpec] = []
+        for candidate in candidates:
+            if len(dead_links) >= quota:
+                break
+            if _stays_connected(width, height, dead_links + [candidate]):
+                dead_links.append(candidate)
+        return cls(
+            seed=seed,
+            dead_links=tuple(sorted(dead_links)),
+            dead_gpms=tuple(dead_gpms),
+            **kwargs,
+        )
+
+
+def degradation_plan(
+    width: int, height: int, seed: int, fraction: float
+) -> FaultPlan:
+    """The one-knob fault scenario the degradation curve sweeps.
+
+    ``fraction`` scales every fault class together: ``fraction`` of the
+    links and half that fraction of the GPMs die, and the translation
+    plane drops/delays/duplicates messages at rates proportional to
+    ``fraction``.  A fraction of 0 yields an empty plan.
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise ConfigurationError(f"fault fraction must be in [0, 1], got {fraction}")
+    return FaultPlan.generate(
+        width,
+        height,
+        seed=seed,
+        link_fraction=fraction,
+        gpm_fraction=fraction / 2.0,
+        drop_prob=0.2 * fraction,
+        delay_prob=0.3 * fraction,
+        duplicate_prob=0.1 * fraction,
+    )
+
+
+# ----------------------------------------------------------------------
+# Mesh graph helpers
+# ----------------------------------------------------------------------
+def _canonical(link: LinkSpec) -> LinkSpec:
+    a, b = tuple(link[0]), tuple(link[1])
+    return (a, b) if a <= b else (b, a)
+
+
+def _mesh_links(width: int, height: int) -> List[LinkSpec]:
+    """All undirected mesh links in canonical sorted order."""
+    links: List[LinkSpec] = []
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                links.append(((x, y), (x + 1, y)))
+            if y + 1 < height:
+                links.append(((x, y), (x, y + 1)))
+    return sorted(links)
+
+
+def _stays_connected(
+    width: int, height: int, dead: List[LinkSpec]
+) -> bool:
+    """Whether the mesh minus the ``dead`` undirected links is connected."""
+    dead_set = set(dead)
+    seen = {(0, 0)}
+    frontier = [(0, 0)]
+    while frontier:
+        here = frontier.pop()
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            there = (here[0] + dx, here[1] + dy)
+            if not (0 <= there[0] < width and 0 <= there[1] < height):
+                continue
+            if there in seen or _canonical((here, there)) in dead_set:
+                continue
+            seen.add(there)
+            frontier.append(there)
+    return len(seen) == width * height
+
+
+__all__ = [
+    "FaultPlan",
+    "degradation_plan",
+    "DEFAULT_TIMEOUT_CYCLES",
+    "DEFAULT_RETRY_BACKOFF_CYCLES",
+]

@@ -1,0 +1,58 @@
+"""Deterministic bounded-retry policy with exponential backoff.
+
+One policy serves two consumers at two time scales: GPMs back off in
+*simulated cycles* before re-issuing a timed-out translation request, and
+the :class:`~repro.exec.executor.SweepExecutor` backs off in *host
+seconds* between pool passes over crashed jobs.  There is deliberately no
+jitter: randomised backoff would make retry timing depend on a second
+entropy source and break the "same config + seed => byte-identical
+result" contract the disk result cache depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with deterministic exponential backoff.
+
+    ``delay_for(attempt)`` is the wait before retry ``attempt`` (0-based):
+    ``base_delay * multiplier ** attempt``, capped at ``max_delay`` when
+    one is set.
+    """
+
+    max_retries: int = 4
+    base_delay: float = 1.0
+    multiplier: float = 2.0
+    max_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.base_delay < 0:
+            raise ConfigurationError(
+                f"base_delay must be >= 0, got {self.base_delay}"
+            )
+        if self.multiplier < 1.0:
+            raise ConfigurationError(
+                f"multiplier must be >= 1, got {self.multiplier}"
+            )
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before 0-based retry ``attempt``; callers working in
+        integer cycles truncate with ``int(...)``."""
+        delay = self.base_delay * self.multiplier ** max(0, attempt)
+        if self.max_delay is not None:
+            delay = min(delay, self.max_delay)
+        return delay
+
+    def exhausted(self, attempts: int) -> bool:
+        """True once ``attempts`` retries have already been spent."""
+        return attempts >= self.max_retries

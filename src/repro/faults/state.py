@@ -1,0 +1,155 @@
+"""Per-run fault state: the live view of a :class:`FaultPlan` on a wafer.
+
+A :class:`FaultState` is built once per :class:`WaferScaleGPU` and shared
+by the network (routing + transient injection), the GPMs (timeout/retry),
+the policies (dead-holder avoidance), and the IOMMU (redirection
+fallback).  It owns the plan's *single* seeded random stream — transient
+verdicts are drawn one per eligible send in simulator order, which the
+event engine makes deterministic — and the degradation counters that land
+in ``RunResult.extras["faults"]`` and the ``faults.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
+from repro.noc.routing import detour_links, hop_count, route_links
+
+Coordinate = Tuple[int, int]
+LinkKey = Tuple[Coordinate, Coordinate]
+
+#: Transient verdicts returned by :meth:`FaultState.transient_verdict`.
+DROP = "drop"
+DELAY = "delay"
+DUPLICATE = "duplicate"
+
+
+class FaultState:
+    """Runtime fault bookkeeping bound to one topology."""
+
+    def __init__(self, plan: FaultPlan, topology) -> None:
+        self.plan = plan
+        self.topology = topology
+        width, height = topology.width, topology.height
+        directed = set()
+        for a, b in plan.dead_links:
+            for coord in (a, b):
+                if not (0 <= coord[0] < width and 0 <= coord[1] < height):
+                    raise ConfigurationError(
+                        f"dead link endpoint {coord} outside "
+                        f"{width}x{height} mesh"
+                    )
+            if hop_count(a, b) != 1:
+                raise ConfigurationError(
+                    f"dead link {a}<->{b} does not connect adjacent tiles"
+                )
+            directed.add((a, b))
+            directed.add((b, a))
+        self.dead_links = frozenset(directed)
+        for coord in plan.dead_gpms:
+            if coord == topology.cpu_coordinate:
+                raise ConfigurationError(
+                    f"cannot kill the CPU tile at {coord}"
+                )
+            if not (0 <= coord[0] < width and 0 <= coord[1] < height):
+                raise ConfigurationError(
+                    f"dead GPM {coord} outside {width}x{height} mesh"
+                )
+        self.dead_tiles = frozenset(plan.dead_gpms)
+        coord_to_id = {
+            tile.coordinate: gpm_id
+            for gpm_id, tile in enumerate(topology.gpm_tiles)
+        }
+        self.dead_gpm_ids = frozenset(
+            coord_to_id[coord] for coord in self.dead_tiles
+        )
+        self.live_gpm_ids: List[int] = [
+            gpm_id
+            for gpm_id in range(len(topology.gpm_tiles))
+            if gpm_id not in self.dead_gpm_ids
+        ]
+        if not self.live_gpm_ids:
+            raise ConfigurationError("fault plan kills every GPM")
+        #: The plan's one transient-fault stream.  Verdicts are consumed
+        #: in event order, so the schedule is a pure function of the seed.
+        self._rng = random.Random(plan.seed)
+        self._routes: Dict[LinkKey, Tuple[List[LinkKey], int]] = {}
+        self.retry = RetryPolicy(
+            max_retries=plan.max_retries,
+            base_delay=float(plan.retry_backoff_cycles),
+            multiplier=2.0,
+        )
+        self.counters: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def bump(self, key: str, amount: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def report(self) -> Dict[str, object]:
+        """Degradation summary for ``RunResult.extras["faults"]``."""
+        return {
+            "plan": self.plan.to_dict(),
+            "dead_links": len(self.plan.dead_links),
+            "dead_gpms": len(self.plan.dead_gpms),
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    # ------------------------------------------------------------------
+    # Permanent faults
+    # ------------------------------------------------------------------
+    def gpm_alive(self, gpm_id: int) -> bool:
+        return gpm_id not in self.dead_gpm_ids
+
+    def tile_alive(self, coordinate: Coordinate) -> bool:
+        return coordinate not in self.dead_tiles
+
+    def remap_owner(self, gpm_id: int) -> int:
+        """Deterministic surviving owner for a dead GPM's pages."""
+        return self.live_gpm_ids[gpm_id % len(self.live_gpm_ids)]
+
+    def route(self, src: Coordinate, dst: Coordinate) -> Tuple[List[LinkKey], int]:
+        """``(links, extra_hops)`` for one message, detouring dead links.
+
+        The XY route is used whenever it survives; otherwise the BFS
+        detour.  ``extra_hops`` is the detour's cost over the Manhattan
+        distance.  Routes are cached per (src, dst): permanent faults do
+        not change mid-run.  Raises
+        :class:`~repro.errors.UnreachableError` when partitioned.
+        """
+        key = (src, dst)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return cached
+        topology = self.topology
+        links = route_links(src, dst, topology.width, topology.height)
+        extra = 0
+        if any(link in self.dead_links for link in links):
+            links = detour_links(
+                src, dst, topology.width, topology.height, self.dead_links
+            )
+            extra = len(links) - hop_count(src, dst)
+        self._routes[key] = (links, extra)
+        return links, extra
+
+    # ------------------------------------------------------------------
+    # Transient faults
+    # ------------------------------------------------------------------
+    def transient_verdict(self) -> Optional[str]:
+        """One fault draw for one eligible message; None = unharmed."""
+        plan = self.plan
+        if not plan.has_transients:
+            return None
+        draw = self._rng.random()
+        if draw < plan.drop_prob:
+            return DROP
+        if draw < plan.drop_prob + plan.delay_prob:
+            return DELAY
+        if draw < plan.drop_prob + plan.delay_prob + plan.duplicate_prob:
+            return DUPLICATE
+        return None

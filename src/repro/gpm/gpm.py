@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config.gpm import GPMConfig
 from repro.core.request import ServedBy
+from repro.errors import TranslationTimeoutError
 from repro.gpm.cache import DataCache
 from repro.gpm.cu import TraceDriver
 from repro.mem.address import AddressSpace
@@ -37,7 +38,8 @@ class PendingTranslation:
     """One outstanding translation miss, with merged waiters (MSHR entry)."""
 
     __slots__ = (
-        "vpn", "waiters", "created_at", "remote_start", "walking", "trace_id"
+        "vpn", "waiters", "created_at", "remote_start", "walking", "trace_id",
+        "attempts", "epoch",
     )
 
     def __init__(self, vpn: int, created_at: int) -> None:
@@ -49,6 +51,11 @@ class PendingTranslation:
         #: Tracing span id (the TranslationRequest id) once the miss goes
         #: remote under an enabled tracer; None otherwise.
         self.trace_id: Optional[int] = None
+        #: Fault-path retry bookkeeping: retries already spent, and an
+        #: epoch bumped on every retry so stale timeout events can tell
+        #: they have been superseded.
+        self.attempts = 0
+        self.epoch = 0
 
 
 class GPM(Component):
@@ -96,6 +103,11 @@ class GPM(Component):
         self.policy = None
         self.iommu_coord: Optional[Coordinate] = None
         self.on_finished: Optional[Callable[["GPM"], None]] = None
+        #: Fault state (:class:`~repro.faults.state.FaultState`) when the
+        #: config carries a fault plan; None keeps translation requests on
+        #: the historical no-timeout path, byte-identical to the
+        #: pre-fault simulator.
+        self.faults = None
         # Remote probes share the cuckoo-filter/LLT ports with local
         # traffic, with local translations having priority (§V-A): remote
         # probes serialise on a busy-until port clock, so GPMs sitting on
@@ -195,6 +207,45 @@ class GPM(Component):
         pending.remote_start = self.sim.now
         self.bump("remote_translations")
         self.policy.start_remote(self, pending)
+        if self.faults is not None:
+            self._arm_translation_timeout(pending)
+
+    # ------------------------------------------------------------------
+    # Fault path: end-to-end timeout + bounded deterministic retry
+    # ------------------------------------------------------------------
+    def _arm_translation_timeout(self, pending: PendingTranslation) -> None:
+        vpn, epoch = pending.vpn, pending.epoch
+        self.sim.schedule(
+            self.faults.plan.timeout_cycles,
+            lambda: self._translation_timeout(vpn, epoch),
+        )
+
+    def _translation_timeout(self, vpn: int, epoch: int) -> None:
+        pending = self._pending.get(vpn)
+        if pending is None or pending.epoch != epoch:
+            return  # resolved, or superseded by a newer attempt
+        self.faults.bump("timeouts")
+        self.bump("translation_timeouts")
+        if self.faults.retry.exhausted(pending.attempts):
+            raise TranslationTimeoutError(
+                f"{self.name}: translation of VPN {vpn:#x} timed out "
+                f"after {pending.attempts} retrie(s); giving up at cycle "
+                f"{self.sim.now}"
+            )
+        pending.attempts += 1
+        pending.epoch += 1
+        self.faults.bump("retries")
+        self.bump("translation_retries")
+        backoff = int(self.faults.retry.delay_for(pending.attempts - 1))
+        retry_epoch = pending.epoch
+        self.sim.schedule(backoff, lambda: self._retry_remote(vpn, retry_epoch))
+
+    def _retry_remote(self, vpn: int, epoch: int) -> None:
+        pending = self._pending.get(vpn)
+        if pending is None or pending.epoch != epoch:
+            return  # resolved during the backoff
+        self.policy.retry_remote(self, pending)
+        self._arm_translation_timeout(pending)
 
     def _translation_done(
         self, vpn: int, entry: PageTableEntry, served_by: ServedBy

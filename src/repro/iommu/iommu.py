@@ -99,6 +99,11 @@ class IOMMU(Component):
                 config.iommu_tlb.latency,
             )
             self.tlb_mshr = MSHRFile("iommu.tlb.mshr", config.iommu_tlb.num_mshrs)
+        #: Request ids currently queued or walking.  A fault-duplicated
+        #: TRANSLATION_REQ delivers the *same mutable request object*
+        #: twice; letting the copy re-enter would overwrite the original's
+        #: arrival/enqueue bookkeeping mid-walk (negative latencies).
+        self._pipeline_ids: set = set()
         # Late-bound by the wafer builder:
         self.policy = None
         #: Optional page-migration engine (extension; observes walks).
@@ -124,6 +129,11 @@ class IOMMU(Component):
 
     def receive_request(self, request: TranslationRequest) -> None:
         """Entry point for a translation request arriving at the CPU."""
+        if request.request_id in self._pipeline_ids:
+            # A duplicated copy of a request already in flight here; the
+            # original will answer it.
+            self.bump("duplicate_arrivals")
+            return
         request.iommu_arrival = self.sim.now
         self.bump("requests")
         self.translation_counts.record(request.vpn)
@@ -140,6 +150,12 @@ class IOMMU(Component):
             return
         if self.redirection is not None and not request.no_redirect:
             target_gpm = self.redirection.lookup(request.vpn)
+            if target_gpm is not None and not self.policy.gpm_alive(target_gpm):
+                # The table still names a GPM the fault plan killed: fall
+                # through to the full walk instead of bouncing the request
+                # at a tile that can never answer.
+                self.bump("dead_redirects")
+                target_gpm = None
             if target_gpm is not None:
                 self.bump("redirects")
                 if self._tracer is not None:
@@ -160,6 +176,7 @@ class IOMMU(Component):
         self._enqueue(request)
 
     def _enqueue(self, request: TranslationRequest) -> None:
+        self._pipeline_ids.add(request.request_id)
         if self.walkers.queue_length < self.config.pw_queue_capacity:
             self._submit(request)
         elif not self.front.try_push(request):
@@ -387,6 +404,7 @@ class IOMMU(Component):
         served_by: ServedBy,
         extras=None,
     ) -> None:
+        self._pipeline_ids.discard(request.request_id)
         if self.tlb is not None and request.vpn in self._tlb_waiters:
             self._tlb_walk_completed(request.vpn, entry)
         if self._tracer is not None:

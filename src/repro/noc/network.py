@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.errors import DeadDestinationError, RoutingError
 from repro.noc.link import Link
 from repro.noc.messages import Message, MessageKind
 from repro.noc.routing import route_links
@@ -42,6 +43,7 @@ class MeshNetwork(Component):
         link_latency: int = 32,
         link_bandwidth_bytes_per_sec: float = 768e9,
         obs=None,
+        faults=None,
     ) -> None:
         super().__init__(sim, "mesh")
         self.obs = obs if obs is not None else NULL_OBS
@@ -51,6 +53,9 @@ class MeshNetwork(Component):
         self._conservation = (
             sanitizer.watch_network(self) if sanitizer is not None else None
         )
+        #: Optional :class:`~repro.faults.state.FaultState`; None keeps the
+        #: no-fault fast path byte-identical to the pre-fault simulator.
+        self._faults = faults
         self.topology = topology
         self.link_latency = link_latency
         self.link_bytes_per_cycle = bytes_per_cycle(link_bandwidth_bytes_per_sec)
@@ -84,16 +89,38 @@ class MeshNetwork(Component):
     # ------------------------------------------------------------------
     # Transfer
     # ------------------------------------------------------------------
+    def _validate_endpoints(self, message: Message) -> None:
+        """Typed errors for undeliverable sends, raised immediately."""
+        width, height = self.topology.width, self.topology.height
+        for what, (x, y) in (("source", message.src),
+                             ("destination", message.dst)):
+            if not (0 <= x < width and 0 <= y < height):
+                raise RoutingError(
+                    f"message {what} {(x, y)} outside "
+                    f"{width}x{height} mesh"
+                )
+        if self._faults is not None and message.dst in self._faults.dead_tiles:
+            raise DeadDestinationError(
+                f"destination tile {message.dst} is disabled by the "
+                f"fault plan"
+            )
+
     def send(self, message: Message, on_deliver: DeliveryFn = None) -> int:
         """Send ``message``; returns its scheduled delivery cycle.
 
         Delivery goes to ``on_deliver`` when given, otherwise to the handler
         attached at the destination tile.  A zero-hop send (src == dst)
-        delivers next cycle without touching any link.
+        delivers next cycle without touching any link.  Undeliverable
+        sends raise typed errors immediately (:class:`RoutingError` for an
+        off-mesh coordinate or missing handler,
+        :class:`DeadDestinationError` for a fault-disabled tile) instead
+        of scheduling an event that would silently hang the run.
         """
+        self._validate_endpoints(message)
         handler = on_deliver or self._handlers.get(message.dst)
         if handler is None:
-            raise KeyError(f"no handler attached at {message.dst}")
+            raise RoutingError(f"no handler attached at {message.dst}")
+        faults = self._faults
         self.messages_sent += 1
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
@@ -101,8 +128,21 @@ class MeshNetwork(Component):
         sent_at = self.sim.now
         arrival = sent_at
         hop_times = None
+        verdict = None
         if message.src != message.dst:
-            links = route_links(message.src, message.dst)
+            if faults is not None:
+                links, extra_hops = faults.route(message.src, message.dst)
+                if extra_hops:
+                    faults.bump("rerouted_messages")
+                    faults.bump("rerouted_hops", extra_hops)
+                # Transient faults touch the translation plane only: the
+                # data plane's outstanding-access window has no retry
+                # protocol, while every translation message is covered by
+                # the requester-side timeout/retry machinery.
+                if message.is_translation_traffic:
+                    verdict = faults.transient_verdict()
+            else:
+                links = route_links(message.src, message.dst)
             self.messages_routed += 1
             self.total_hops += len(links)
             self.link_bytes_by_kind[message.kind] = (
@@ -121,16 +161,38 @@ class MeshNetwork(Component):
                     hop_times.append([list(src), list(dst), arrival])
         else:
             arrival += 1
+        if verdict == "delay":
+            faults.bump("injected.delays")
+            arrival += faults.plan.delay_cycles
         if self._tracer is not None:
             self._trace_send(message, sent_at, arrival, hop_times)
+        if verdict == "drop":
+            # The message traversed its links (the bytes were spent) but
+            # never arrives; the conservation ledger is told explicitly so
+            # sanitized runs stay green under injected faults.
+            faults.bump("injected.drops")
+            if self._conservation is not None:
+                self._conservation.on_send()
+                self._conservation.on_drop()
+            return arrival
         if self._conservation is None:
             self.sim.schedule_at(arrival, lambda: handler(message))
+            if verdict == "duplicate":
+                faults.bump("injected.duplicates")
+                self.sim.schedule_at(arrival + 1, lambda: handler(message))
         else:
             conservation = self._conservation
             conservation.on_send()
             self.sim.schedule_at(
                 arrival, lambda: conservation.deliver(handler, message)
             )
+            if verdict == "duplicate":
+                faults.bump("injected.duplicates")
+                conservation.on_send()
+                self.sim.schedule_at(
+                    arrival + 1,
+                    lambda: conservation.deliver(handler, message),
+                )
         return arrival
 
     def _trace_send(
@@ -183,10 +245,15 @@ class MeshNetwork(Component):
         return sum(link.total_wait_cycles for link in self._links.values())
 
     def link_report(self) -> List[Dict[str, object]]:
-        """Per-link traffic/occupancy rows, sorted for stable output."""
+        """Per-link traffic/occupancy rows, sorted for stable output.
+
+        Fault-injected runs add a ``failed`` flag per row, plus zero rows
+        for dead links that never carried traffic; no-fault runs keep the
+        historical row shape byte-for-byte.
+        """
         now = self.sim.now
-        return [
-            {
+        rows = {
+            key: {
                 "src": link.src,
                 "dst": link.dst,
                 "messages": link.messages_carried,
@@ -195,8 +262,22 @@ class MeshNetwork(Component):
                 "wait_cycles": link.total_wait_cycles,
                 "busy_fraction": link.busy_fraction(now),
             }
-            for _key, link in sorted(self._links.items())
-        ]
+            for key, link in self._links.items()
+        }
+        if self._faults is not None:
+            for key in self._faults.dead_links:
+                rows.setdefault(key, {
+                    "src": key[0],
+                    "dst": key[1],
+                    "messages": 0,
+                    "bytes": 0,
+                    "translation_bytes": 0,
+                    "wait_cycles": 0,
+                    "busy_fraction": 0.0,
+                })
+            for key, row in rows.items():
+                row["failed"] = key in self._faults.dead_links
+        return [rows[key] for key in sorted(rows)]
 
     def traffic_report(self) -> Dict[str, Dict[str, int]]:
         """Per-message-kind messages and bytes x hops, plus totals."""

@@ -1,20 +1,66 @@
-"""Dimension-order (XY) routing on the mesh."""
+"""Mesh routing: dimension-order (XY) plus a fault-aware BFS detour.
+
+``xy_route`` is the deterministic default.  When a fault plan kills links,
+:func:`detour_route` finds the shortest surviving path with a breadth-first
+search over the mesh graph minus the dead links; the fixed neighbour
+expansion order (+x, -x, +y, -y) makes the detour a pure function of
+``(src, dst, dead_links)``, so the same seed and fault set always produce
+identical paths.
+"""
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from collections import deque
+from typing import AbstractSet, List, Optional, Tuple
+
+from repro.errors import RoutingError, UnreachableError
 
 Coordinate = Tuple[int, int]
 Link = Tuple[Coordinate, Coordinate]
 
+#: Fixed neighbour expansion order for the detour BFS.  Listing +x first
+#: biases ties toward XY-shaped paths, so an empty dead-link set yields
+#: the plain XY route.
+_NEIGHBOR_STEPS = ((1, 0), (-1, 0), (0, 1), (0, -1))
 
-def xy_route(src: Coordinate, dst: Coordinate) -> List[Coordinate]:
+
+def check_on_mesh(
+    coordinate: Coordinate,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+    what: str = "coordinate",
+) -> None:
+    """Raise :class:`~repro.errors.RoutingError` for off-mesh coordinates.
+
+    Negative components are always off-mesh; the upper bound is only
+    checked when the mesh dimensions are known.
+    """
+    x, y = coordinate
+    if x < 0 or y < 0:
+        raise RoutingError(f"{what} {coordinate} is off-mesh (negative)")
+    if width is not None and height is not None:
+        if x >= width or y >= height:
+            raise RoutingError(
+                f"{what} {coordinate} outside {width}x{height} mesh"
+            )
+
+
+def xy_route(
+    src: Coordinate,
+    dst: Coordinate,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> List[Coordinate]:
     """The XY route from ``src`` to ``dst``, inclusive of both endpoints.
 
     X is resolved before Y, matching the deterministic dimension-order
     routers used in interposer meshes.  The route length is therefore
-    exactly the Manhattan distance plus one.
+    exactly the Manhattan distance plus one.  Off-mesh endpoints raise
+    :class:`~repro.errors.RoutingError` (fully bounds-checked when the
+    mesh dimensions are given).
     """
+    check_on_mesh(src, width, height, what="route source")
+    check_on_mesh(dst, width, height, what="route destination")
     path = [src]
     x, y = src
     step_x = 1 if dst[0] > x else -1
@@ -28,9 +74,69 @@ def xy_route(src: Coordinate, dst: Coordinate) -> List[Coordinate]:
     return path
 
 
-def route_links(src: Coordinate, dst: Coordinate) -> List[Link]:
+def route_links(
+    src: Coordinate,
+    dst: Coordinate,
+    width: Optional[int] = None,
+    height: Optional[int] = None,
+) -> List[Link]:
     """The directed links an XY-routed message traverses."""
-    path = xy_route(src, dst)
+    path = xy_route(src, dst, width, height)
+    return list(zip(path, path[1:]))
+
+
+def detour_route(
+    src: Coordinate,
+    dst: Coordinate,
+    width: int,
+    height: int,
+    dead_links: AbstractSet[Link],
+) -> List[Coordinate]:
+    """Shortest surviving path from ``src`` to ``dst``, avoiding dead links.
+
+    Breadth-first search over the mesh with the directed ``dead_links``
+    removed.  BFS guarantees a minimal-hop detour; the fixed expansion
+    order makes it deterministic.  Raises
+    :class:`~repro.errors.UnreachableError` when the fault set partitions
+    ``src`` from ``dst``.
+    """
+    check_on_mesh(src, width, height, what="route source")
+    check_on_mesh(dst, width, height, what="route destination")
+    if src == dst:
+        return [src]
+    parents = {src: src}
+    frontier = deque([src])
+    while frontier:
+        here = frontier.popleft()
+        for dx, dy in _NEIGHBOR_STEPS:
+            there = (here[0] + dx, here[1] + dy)
+            if not (0 <= there[0] < width and 0 <= there[1] < height):
+                continue
+            if there in parents or (here, there) in dead_links:
+                continue
+            parents[there] = here
+            if there == dst:
+                path = [dst]
+                while path[-1] != src:
+                    path.append(parents[path[-1]])
+                path.reverse()
+                return path
+            frontier.append(there)
+    raise UnreachableError(
+        f"no route from {src} to {dst}: {len(dead_links)} dead link(s) "
+        f"partition the {width}x{height} mesh"
+    )
+
+
+def detour_links(
+    src: Coordinate,
+    dst: Coordinate,
+    width: int,
+    height: int,
+    dead_links: AbstractSet[Link],
+) -> List[Link]:
+    """The directed links of :func:`detour_route`'s path."""
+    path = detour_route(src, dst, width, height, dead_links)
     return list(zip(path, path[1:]))
 
 

@@ -65,6 +65,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="keep Table I capacities despite the reduced workload scale",
     )
     parser.add_argument("--json", action="store_true", help="emit JSON")
+    faults_group = parser.add_argument_group("fault injection")
+    faults_group.add_argument(
+        "--faults", type=float, default=0.0, metavar="FRACTION",
+        help="inject a deterministic fault plan of this severity "
+             "(0 disables; see repro.faults.degradation_plan)",
+    )
+    faults_group.add_argument(
+        "--fault-seed", type=int, default=None,
+        help="seed for the fault plan (default: --seed)",
+    )
     parser.add_argument(
         "--sanitize", action="store_true",
         help="arm the runtime sanitizers (event order, NoC byte "
@@ -135,6 +145,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if not args.no_capacity_scaling:
         config = capacity_scaled(config, args.scale)
+    if args.faults < 0:
+        print(f"error: --faults must be >= 0, got {args.faults}",
+              file=sys.stderr)
+        return 2
+    if args.faults > 0:
+        from repro.faults import degradation_plan
+
+        fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
+        config = config.with_faults(
+            degradation_plan(width, height, fault_seed, args.faults)
+        )
     # Fail on unwritable output paths before burning simulation time.
     for out_path in (args.trace, args.metrics_out):
         if out_path:
@@ -158,6 +179,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         sanitize=args.sanitize,
     )
     notice = sys.stderr if args.json else sys.stdout
+    if args.faults > 0:
+        fault_report = result.extras.get("faults", {})
+        counters = fault_report.get("counters", {})
+        print(f"faults: {fault_report.get('dead_links', 0)} dead links, "
+              f"{fault_report.get('dead_gpms', 0)} dead GPMs; "
+              f"{counters.get('injected.drops', 0)} drops, "
+              f"{counters.get('injected.delays', 0)} delays, "
+              f"{counters.get('injected.duplicates', 0)} duplicates, "
+              f"{counters.get('retries', 0)} retries", file=notice)
     if args.sanitize:
         sanitizers = result.extras.get("sanitizers", {})
         print(f"sanitizers: clean "

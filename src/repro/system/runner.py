@@ -74,6 +74,8 @@ def run_benchmark(
     result = collect_result(wafer, trace, buffer_series)
     if wafer.sim.sanitizer is not None:
         result.extras["sanitizers"] = wafer.sim.sanitizer.report()
+    if wafer.faults is not None:
+        result.extras["faults"] = wafer.faults.report()
     return result
 
 

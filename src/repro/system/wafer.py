@@ -14,6 +14,7 @@ from repro.config.system import SystemConfig
 from repro.core.layers import ConcentricLayout
 from repro.core.policy import TranslationPolicy, build_policy
 from repro.errors import ConfigurationError
+from repro.faults import FaultState
 from repro.gpm.gpm import GPM
 from repro.iommu.iommu import IOMMU
 from repro.mem.address import AddressSpace
@@ -40,12 +41,21 @@ class WaferScaleGPU:
         self.obs = obs if obs is not None else NULL_OBS
         self.sim = Simulator(profiler=self.obs.profiler, sanitize=sanitize)
         self.topology = MeshTopology(config.mesh_width, config.mesh_height)
+        #: Fault state derived from the config's plan; None (the common
+        #: case) keeps every downstream component on its historical,
+        #: byte-identical no-fault path.
+        self.faults: Optional[FaultState] = (
+            FaultState(config.faults, self.topology)
+            if config.faults is not None and not config.faults.is_empty
+            else None
+        )
         self.network = MeshNetwork(
             self.sim,
             self.topology,
             link_latency=config.noc.link_latency,
             link_bandwidth_bytes_per_sec=config.noc.link_bandwidth,
             obs=self.obs,
+            faults=self.faults,
         )
         self.address_space = AddressSpace(config.page_size)
         effective_layers = min(
@@ -82,9 +92,14 @@ class WaferScaleGPU:
             gpm.policy = self.policy
             gpm.iommu_coord = self.topology.cpu_coordinate
             gpm.on_finished = self._gpm_finished
+            gpm.faults = self.faults
             self.gpms.append(gpm)
             self._gpm_id_at[tile.coordinate] = gpm_id
-            self.network.attach(tile.coordinate, gpm.handle_message)
+            # Dead GPMs are still constructed (stable gpm ids) but never
+            # attached: a message routed at one raises DeadDestinationError
+            # instead of silently disappearing into a handler.
+            if self.faults is None or self.faults.gpm_alive(gpm_id):
+                self.network.attach(tile.coordinate, gpm.handle_message)
         self.network.attach(
             self.topology.cpu_coordinate, self.iommu.handle_message
         )
@@ -155,8 +170,16 @@ class WaferScaleGPU:
     # Memory setup
     # ------------------------------------------------------------------
     def install_entries(self, entries: List[PageTableEntry]) -> None:
-        """Register PTEs with the global page table and their home GPMs."""
+        """Register PTEs with the global page table and their home GPMs.
+
+        Pages owned by a fault-disabled GPM are remapped to a surviving
+        one (deterministically, by id) before installation — the modelled
+        runtime reassigns a dead module's memory at boot.
+        """
         for entry in entries:
+            if self.faults is not None and not self.faults.gpm_alive(entry.owner_gpm):
+                entry.owner_gpm = self.faults.remap_owner(entry.owner_gpm)
+                self.faults.bump("remapped_pages")
             self.iommu.page_table.insert(entry)
             self.gpms[entry.owner_gpm].hierarchy.install_local_page(entry)
 
@@ -175,6 +198,12 @@ class WaferScaleGPU:
                 f"got {len(per_gpm_traces)}"
             )
         for gpm, trace in zip(self.gpms, per_gpm_traces):
+            if self.faults is not None and not self.faults.gpm_alive(gpm.gpm_id):
+                # A dead module executes nothing; its share of the workload
+                # is simply lost (the degradation the ext_faults experiment
+                # measures), and its empty trace drains immediately so the
+                # wafer still reaches all_finished.
+                trace = []
             gpm.load_trace(trace, burst=burst, interval=interval)
 
     def run(self, max_cycles: Optional[int] = None) -> int:
@@ -235,4 +264,6 @@ class WaferScaleGPU:
                 "dropped_events": self.sim.dropped_events,
                 "final_cycle": self.sim.now,
             })
+            if self.faults is not None:
+                registry.merge_stats("faults", dict(self.faults.counters))
         return registry.snapshot()

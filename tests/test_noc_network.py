@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.errors import RoutingError
 from repro.noc.messages import Message, MessageKind
 from repro.noc.network import MeshNetwork
 from repro.noc.topology import MeshTopology
@@ -38,8 +39,12 @@ class TestDelivery:
         assert received == [message]
 
     def test_missing_handler_raises(self, network):
-        with pytest.raises(KeyError):
+        with pytest.raises(RoutingError):
             network.send(_msg((0, 0), (4, 4)))
+
+    def test_off_mesh_destination_raises(self, network):
+        with pytest.raises(RoutingError):
+            network.send(_msg((0, 0), (99, 0)))
 
     def test_explicit_handler_overrides_attached(self, sim, network):
         network.attach((2, 2), lambda m: pytest.fail("should not be called"))

@@ -1,9 +1,17 @@
-"""Tests for XY routing."""
+"""Tests for XY routing and fault-aware detour routing."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.noc.routing import hop_count, route_links, xy_route
+from repro.errors import RoutingError, UnreachableError
+from repro.noc.routing import (
+    detour_links,
+    detour_route,
+    hop_count,
+    route_links,
+    xy_route,
+)
 
 coords = st.tuples(st.integers(0, 11), st.integers(0, 11))
 
@@ -45,3 +53,71 @@ class TestRouteLinks:
 
     def test_zero_hop_has_no_links(self):
         assert route_links((1, 1), (1, 1)) == []
+
+
+class TestBoundsChecking:
+    def test_negative_coordinate_always_rejected(self):
+        with pytest.raises(RoutingError):
+            xy_route((-1, 0), (2, 0))
+
+    def test_upper_bound_checked_when_dims_given(self):
+        with pytest.raises(RoutingError):
+            xy_route((0, 0), (7, 0), 7, 7)
+
+    def test_on_mesh_endpoints_pass(self):
+        assert xy_route((0, 0), (6, 6), 7, 7)[-1] == (6, 6)
+
+
+class TestDegenerateMeshes:
+    def test_single_row_routes_along_x(self):
+        assert xy_route((0, 0), (4, 0), 5, 1) == [
+            (0, 0), (1, 0), (2, 0), (3, 0), (4, 0)
+        ]
+
+    def test_single_column_routes_along_y(self):
+        assert xy_route((0, 0), (0, 3), 1, 4) == [
+            (0, 0), (0, 1), (0, 2), (0, 3)
+        ]
+
+    def test_single_row_detour_with_dead_link_is_unreachable(self):
+        # A 1xN mesh has no alternate path around any dead link.
+        dead = {((1, 0), (2, 0)), ((2, 0), (1, 0))}
+        with pytest.raises(UnreachableError):
+            detour_route((0, 0), (4, 0), 5, 1, dead)
+
+
+class TestDetour:
+    DEAD = {((1, 0), (2, 0)), ((2, 0), (1, 0))}
+
+    def test_detour_avoids_dead_links(self):
+        links = detour_links((0, 0), (3, 0), 4, 2, self.DEAD)
+        assert not any(link in self.DEAD for link in links)
+        assert links[0][0] == (0, 0) and links[-1][1] == (3, 0)
+
+    def test_detour_is_shortest_alternative(self):
+        # Around one dead horizontal link the detour costs exactly 2 extra.
+        path = detour_route((0, 0), (3, 0), 4, 2, self.DEAD)
+        assert len(path) - 1 == hop_count((0, 0), (3, 0)) + 2
+
+    def test_detour_no_dead_links_matches_manhattan(self):
+        path = detour_route((0, 0), (2, 2), 4, 4, frozenset())
+        assert len(path) - 1 == hop_count((0, 0), (2, 2))
+
+    def test_detour_src_equals_dst(self):
+        assert detour_route((1, 1), (1, 1), 4, 4, self.DEAD) == [(1, 1)]
+
+    def test_detour_deterministic(self):
+        runs = [
+            detour_route((0, 0), (3, 1), 4, 2, set(self.DEAD))
+            for _ in range(5)
+        ]
+        assert all(run == runs[0] for run in runs)
+
+    def test_fully_cut_destination_raises(self):
+        # Sever every link into (3, 0) on a 4x2 mesh.
+        dead = set()
+        for neighbor in ((2, 0), (3, 1)):
+            dead.add(((3, 0), neighbor))
+            dead.add((neighbor, (3, 0)))
+        with pytest.raises(UnreachableError):
+            detour_route((0, 0), (3, 0), 4, 2, dead)
