@@ -87,6 +87,11 @@ class ConservationSanitizer:
     def __init__(self, network: Any) -> None:
         self.network = network
         self.shadow_link_bytes: Dict[LinkKey, int] = {}
+        #: Serialisation cycles as the network actually charged them at
+        #: transmit time.  Recomputing from bytes at quiesce would
+        #: false-positive under fail-slow: a link's bandwidth factor can
+        #: change between two messages, so only the charged value is true.
+        self.shadow_link_busy: Dict[LinkKey, int] = {}
         self.sent = 0
         self.delivered = 0
         #: Messages intentionally destroyed by fault injection.  The
@@ -102,9 +107,14 @@ class ConservationSanitizer:
     def on_drop(self) -> None:
         self.dropped += 1
 
-    def on_hop(self, key: LinkKey, size_bytes: int) -> None:
+    def on_hop(
+        self, key: LinkKey, size_bytes: int, serialization_cycles: int = 0
+    ) -> None:
         self.shadow_link_bytes[key] = (
             self.shadow_link_bytes.get(key, 0) + size_bytes
+        )
+        self.shadow_link_busy[key] = (
+            self.shadow_link_busy.get(key, 0) + serialization_cycles
         )
 
     def deliver(self, handler: Callable[[Any], None], message: Any) -> None:
@@ -132,6 +142,14 @@ class ConservationSanitizer:
                     f"{self.network.name}: link {key[0]}->{key[1]} carries "
                     f"{link.bytes_carried} bytes but the shadow ledger "
                     f"injected {expected} — link accounting drifted"
+                )
+            expected_busy = self.shadow_link_busy.get(key, 0)
+            if link.busy_cycles != expected_busy:
+                raise ConservationError(
+                    f"{self.network.name}: link {key[0]}->{key[1]} charged "
+                    f"{link.busy_cycles} busy cycles but the shadow ledger "
+                    f"saw {expected_busy} — serialisation accounting "
+                    f"drifted (mid-transfer bandwidth change?)"
                 )
         # Every ledger entry must have a matching link object.
         missing = set(self.shadow_link_bytes) - set(self.network._links)

@@ -37,7 +37,9 @@ from repro.system.runner import run_benchmark
 #: cache key — see docs/EXECUTION.md for when to bump vs when to wipe.
 #: 2: SystemConfig grew a ``faults`` field (its repr — and thus every
 #: key's material — changed shape).
-CACHE_SCHEMA = 2
+#: 3: FaultPlan grew a ``timeline`` field and fail-slow link events
+#: (plan repr changed shape; serialisation accounting changed).
+CACHE_SCHEMA = 3
 
 #: run_benchmark kwargs value types a job may carry across processes.
 _SIMPLE = (int, float, str, bool, type(None))

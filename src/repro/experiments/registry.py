@@ -8,6 +8,7 @@ from repro.errors import ReproError
 from repro.experiments import (
     ext_faults,
     ext_layers,
+    ext_recovery,
     ext_migration,
     ext_rotation,
     ext_shootdown,
@@ -62,6 +63,7 @@ _EXPERIMENTS: Dict[str, Callable] = {
     "ext_shootdown": ext_shootdown.run,
     "ext_migration": ext_migration.run,
     "ext_faults": ext_faults.run,
+    "ext_recovery": ext_recovery.run,
 }
 
 EXPERIMENT_IDS: List[str] = list(_EXPERIMENTS)

@@ -1,13 +1,20 @@
 """Deterministic fault injection and graceful degradation.
 
-The subsystem has three pieces:
+The subsystem has four pieces:
 
 * :class:`~repro.faults.plan.FaultPlan` — seeded, serializable fault
   configuration carried on ``SystemConfig.faults``;
+* :class:`~repro.faults.timeline.FaultTimeline` — scheduled mid-run
+  events (fail-slow links, GPM death/recovery, page drain warnings);
 * :class:`~repro.faults.state.FaultState` — the per-run live view the
-  network, GPMs, policies, and IOMMU consult;
+  network, GPMs, policies, and IOMMU consult, mutable over time when a
+  timeline is present;
 * :class:`~repro.faults.retry.RetryPolicy` — deterministic bounded
   exponential backoff, shared with the exec layer's job retries.
+
+The :class:`~repro.faults.recovery.RecoveryManager` (imported lazily by
+the wafer to avoid a cycle with ``repro.system``) replays the timeline as
+ordinary simulator events.
 
 See docs/ROBUSTNESS.md for the fault model and degradation-curve harness.
 """
@@ -15,5 +22,28 @@ See docs/ROBUSTNESS.md for the fault model and degradation-curve harness.
 from repro.faults.plan import FaultPlan, degradation_plan
 from repro.faults.retry import RetryPolicy
 from repro.faults.state import FaultState
+from repro.faults.timeline import (
+    DegradeLink,
+    DrainWarning,
+    FaultEvent,
+    FaultTimeline,
+    KillGpm,
+    RecoverGpm,
+    RestoreLink,
+    recovery_scenario,
+)
 
-__all__ = ["FaultPlan", "FaultState", "RetryPolicy", "degradation_plan"]
+__all__ = [
+    "DegradeLink",
+    "DrainWarning",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultState",
+    "FaultTimeline",
+    "KillGpm",
+    "RecoverGpm",
+    "RestoreLink",
+    "RetryPolicy",
+    "degradation_plan",
+    "recovery_scenario",
+]

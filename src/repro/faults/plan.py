@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.faults.timeline import DegradeLink, FaultTimeline
 
 Coordinate = Tuple[int, int]
 LinkSpec = Tuple[Coordinate, Coordinate]
@@ -59,8 +60,15 @@ class FaultPlan:
     timeout_cycles: int = DEFAULT_TIMEOUT_CYCLES
     retry_backoff_cycles: int = DEFAULT_RETRY_BACKOFF_CYCLES
     max_retries: int = 4
+    #: Optional schedule of mid-run events (fail-slow links, GPM
+    #: death/recovery, page drains).  An empty timeline is normalised to
+    #: None, so "no timeline" and "empty timeline" are the same value —
+    #: same repr, same hash, same cache key, byte-identical runs.
+    timeline: Optional[FaultTimeline] = None
 
     def __post_init__(self) -> None:
+        if self.timeline is not None and self.timeline.is_empty:
+            object.__setattr__(self, "timeline", None)
         for name in ("drop_prob", "delay_prob", "duplicate_prob"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
@@ -92,6 +100,7 @@ class FaultPlan:
             and self.drop_prob == 0.0
             and self.delay_prob == 0.0
             and self.duplicate_prob == 0.0
+            and self.timeline is None
         )
 
     @property
@@ -114,13 +123,15 @@ class FaultPlan:
                 f"t{self.drop_prob:.3f}/{self.delay_prob:.3f}"
                 f"/{self.duplicate_prob:.3f}"
             )
+        if self.timeline is not None:
+            parts.append(self.timeline.describe())
         return ",".join(parts)
 
     # ------------------------------------------------------------------
     # Serialization (JSON round-trip)
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
+        data: Dict[str, object] = {
             "seed": self.seed,
             "dead_links": [[list(a), list(b)] for a, b in self.dead_links],
             "dead_gpms": [list(c) for c in self.dead_gpms],
@@ -132,6 +143,11 @@ class FaultPlan:
             "retry_backoff_cycles": self.retry_backoff_cycles,
             "max_retries": self.max_retries,
         }
+        # Emitted only when present: PR 4 plan dicts keep their exact
+        # historical shape, so their digests and cache keys are stable.
+        if self.timeline is not None:
+            data["timeline"] = self.timeline.to_dict()
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "FaultPlan":
@@ -150,6 +166,11 @@ class FaultPlan:
                 "retry_backoff_cycles", DEFAULT_RETRY_BACKOFF_CYCLES
             ),
             max_retries=data.get("max_retries", 4),
+            timeline=(
+                FaultTimeline.from_dict(data["timeline"])
+                if "timeline" in data
+                else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -163,6 +184,8 @@ class FaultPlan:
         seed: int = 0,
         link_fraction: float = 0.0,
         gpm_fraction: float = 0.0,
+        slow_link_fraction: float = 0.0,
+        slow_bandwidth_factor: float = 1.0 / 16.0,
         **kwargs,
     ) -> "FaultPlan":
         """Sample a plan for a ``width x height`` mesh.
@@ -170,10 +193,22 @@ class FaultPlan:
         ``link_fraction`` / ``gpm_fraction`` of the mesh's links / GPM
         tiles die.  The CPU tile never dies, and links are killed only
         while the mesh stays connected (candidates whose removal would
-        partition it are skipped deterministically).  Extra keyword
-        arguments (``drop_prob`` etc.) pass through to the constructor.
+        partition it are skipped deterministically).
+
+        ``slow_link_fraction`` of the links additionally go *fail-slow*
+        (a cycle-0 :class:`~repro.faults.timeline.DegradeLink` timeline
+        event at ``slow_bandwidth_factor``).  Slow links are drawn from
+        the same shuffled candidate stream, skipping links already dead,
+        so severity sweeps stay monotone per link: with a fixed seed, a
+        link slow at one fraction is slow *or dead* at any higher one.
+        Extra keyword arguments (``drop_prob`` etc.) pass through to the
+        constructor.
         """
-        if not 0.0 <= link_fraction <= 1.0 or not 0.0 <= gpm_fraction <= 1.0:
+        if (
+            not 0.0 <= link_fraction <= 1.0
+            or not 0.0 <= gpm_fraction <= 1.0
+            or not 0.0 <= slow_link_fraction <= 1.0
+        ):
             raise ConfigurationError("fault fractions must be in [0, 1]")
         rng = random.Random(seed)
         cpu = (width // 2, height // 2)
@@ -201,10 +236,24 @@ class FaultPlan:
                 break
             if _stays_connected(width, height, dead_links + [candidate]):
                 dead_links.append(candidate)
+        timeline = kwargs.pop("timeline", None)
+        slow_quota = int(len(links) * slow_link_fraction)
+        if slow_quota:
+            dead_set = set(dead_links)
+            slow_links = [
+                candidate for candidate in candidates
+                if candidate not in dead_set
+            ][:slow_quota]
+            events = tuple(timeline.events) if timeline is not None else ()
+            timeline = FaultTimeline(events=events + tuple(
+                DegradeLink(0, link, slow_bandwidth_factor)
+                for link in slow_links
+            ))
         return cls(
             seed=seed,
             dead_links=tuple(sorted(dead_links)),
             dead_gpms=tuple(dead_gpms),
+            timeline=timeline,
             **kwargs,
         )
 
@@ -215,8 +264,9 @@ def degradation_plan(
     """The one-knob fault scenario the degradation curve sweeps.
 
     ``fraction`` scales every fault class together: ``fraction`` of the
-    links and half that fraction of the GPMs die, and the translation
-    plane drops/delays/duplicates messages at rates proportional to
+    links and half that fraction of the GPMs die, another ``fraction`` of
+    the links go fail-slow at 1/16th bandwidth, and the translation plane
+    drops/delays/duplicates messages at rates proportional to
     ``fraction``.  A fraction of 0 yields an empty plan.
     """
     if not 0.0 <= fraction <= 1.0:
@@ -227,6 +277,7 @@ def degradation_plan(
         seed=seed,
         link_fraction=fraction,
         gpm_fraction=fraction / 2.0,
+        slow_link_fraction=fraction,
         drop_prob=0.2 * fraction,
         delay_prob=0.3 * fraction,
         duplicate_prob=0.1 * fraction,

@@ -46,11 +46,28 @@ class RetryPolicy:
             )
 
     def delay_for(self, attempt: int) -> float:
-        """Backoff before 0-based retry ``attempt``; callers working in
-        integer cycles truncate with ``int(...)``."""
+        """Backoff before 0-based retry ``attempt``, in host seconds.
+        Cycle-domain callers must use :meth:`delay_cycles_for` instead —
+        float delays must never reach ``Simulator.schedule``."""
         delay = self.base_delay * self.multiplier ** max(0, attempt)
         if self.max_delay is not None:
             delay = min(delay, self.max_delay)
+        return delay
+
+    def delay_cycles_for(self, attempt: int) -> int:
+        """Backoff before 0-based retry ``attempt``, in whole cycles.
+
+        With an integer multiplier (the simulator's case) the arithmetic
+        stays exact in integers end to end; otherwise the float product
+        is truncated once, at the end.
+        """
+        base = int(self.base_delay)
+        if float(self.multiplier).is_integer():
+            delay = base * int(self.multiplier) ** max(0, attempt)
+        else:
+            delay = int(base * self.multiplier ** max(0, attempt))
+        if self.max_delay is not None:
+            delay = min(delay, int(self.max_delay))
         return delay
 
     def exhausted(self, attempts: int) -> bool:

@@ -7,12 +7,21 @@ fallback).  It owns the plan's *single* seeded random stream — transient
 verdicts are drawn one per eligible send in simulator order, which the
 event engine makes deterministic — and the degradation counters that land
 in ``RunResult.extras["faults"]`` and the ``faults.*`` metrics.
+
+Since PR 5 the state is *mutable over time*: a plan with a
+:class:`~repro.faults.timeline.FaultTimeline` drives the
+:class:`~repro.faults.recovery.RecoveryManager`, which calls the mutators
+below (:meth:`kill_gpm`, :meth:`recover_gpm`, :meth:`degrade_link`,
+:meth:`restore_link`) mid-run.  Every mutation bumps ``topology_epoch``;
+the route cache is invalidated on the next lookup after an epoch change,
+so in-flight retries re-resolve against the *current* topology rather
+than a stale detour.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.faults.plan import FaultPlan
@@ -35,7 +44,7 @@ class FaultState:
         self.plan = plan
         self.topology = topology
         width, height = topology.width, topology.height
-        directed = set()
+        directed: Set[LinkKey] = set()
         for a, b in plan.dead_links:
             for coord in (a, b):
                 if not (0 <= coord[0] < width and 0 <= coord[1] < height):
@@ -49,7 +58,9 @@ class FaultState:
                 )
             directed.add((a, b))
             directed.add((b, a))
-        self.dead_links = frozenset(directed)
+        #: Boot-time faults from the static plan, kept for reporting; the
+        #: mutable sets below start as copies and evolve with the timeline.
+        self.boot_dead_links = frozenset(directed)
         for coord in plan.dead_gpms:
             if coord == topology.cpu_coordinate:
                 raise ConfigurationError(
@@ -59,31 +70,71 @@ class FaultState:
                 raise ConfigurationError(
                     f"dead GPM {coord} outside {width}x{height} mesh"
                 )
-        self.dead_tiles = frozenset(plan.dead_gpms)
-        coord_to_id = {
+        self.boot_dead_tiles = frozenset(plan.dead_gpms)
+        self.dead_links: Set[LinkKey] = set(directed)
+        self.dead_tiles: Set[Coordinate] = set(self.boot_dead_tiles)
+        #: link -> bandwidth factor, canonical (sorted) endpoint order.
+        self.degraded: Dict[LinkKey, float] = {}
+        self.coord_to_id = {
             tile.coordinate: gpm_id
             for gpm_id, tile in enumerate(topology.gpm_tiles)
         }
-        self.dead_gpm_ids = frozenset(
-            coord_to_id[coord] for coord in self.dead_tiles
-        )
-        self.live_gpm_ids: List[int] = [
-            gpm_id
-            for gpm_id in range(len(topology.gpm_tiles))
-            if gpm_id not in self.dead_gpm_ids
-        ]
-        if not self.live_gpm_ids:
-            raise ConfigurationError("fault plan kills every GPM")
+        self.dead_gpm_ids: Set[int] = {
+            self.coord_to_id[coord] for coord in self.dead_tiles
+        }
+        self.live_gpm_ids: List[int] = []
+        self._recompute_live()
+        #: Bumped by every topology mutation; the route cache and any
+        #: epoch-guarded in-flight work key on it.
+        self.topology_epoch = 0
+        self._routes_epoch = 0
+        #: True when the plan carries a timeline: mid-run death becomes a
+        #: legitimate race, so sends to dead tiles dead-letter instead of
+        #: raising, and link reports carry bandwidth factors.
+        self.dynamic = plan.timeline is not None
+        if self.dynamic:
+            self._validate_timeline(plan.timeline, width, height)
         #: The plan's one transient-fault stream.  Verdicts are consumed
         #: in event order, so the schedule is a pure function of the seed.
         self._rng = random.Random(plan.seed)
         self._routes: Dict[LinkKey, Tuple[List[LinkKey], int]] = {}
         self.retry = RetryPolicy(
             max_retries=plan.max_retries,
-            base_delay=float(plan.retry_backoff_cycles),
+            base_delay=plan.retry_backoff_cycles,
             multiplier=2.0,
         )
         self.counters: Dict[str, int] = {}
+
+    def _validate_timeline(self, timeline, width: int, height: int) -> None:
+        cpu = self.topology.cpu_coordinate
+        for event in timeline.events:
+            coords = (
+                event.link if hasattr(event, "link") else (event.gpm,)
+            )
+            for coord in coords:
+                if not (0 <= coord[0] < width and 0 <= coord[1] < height):
+                    raise ConfigurationError(
+                        f"timeline event {event!r} references {coord} "
+                        f"outside the {width}x{height} mesh"
+                    )
+            if hasattr(event, "link") and hop_count(*event.link) != 1:
+                raise ConfigurationError(
+                    f"timeline link {event.link} does not connect "
+                    f"adjacent tiles"
+                )
+            if hasattr(event, "gpm") and event.gpm == cpu:
+                raise ConfigurationError(
+                    f"timeline event {event!r} targets the CPU tile"
+                )
+
+    def _recompute_live(self) -> None:
+        self.live_gpm_ids = [
+            gpm_id
+            for gpm_id in range(len(self.topology.gpm_tiles))
+            if gpm_id not in self.dead_gpm_ids
+        ]
+        if not self.live_gpm_ids:
+            raise ConfigurationError("fault plan kills every GPM")
 
     # ------------------------------------------------------------------
     # Accounting
@@ -99,6 +150,45 @@ class FaultState:
             "dead_gpms": len(self.plan.dead_gpms),
             "counters": dict(sorted(self.counters.items())),
         }
+
+    # ------------------------------------------------------------------
+    # Timeline mutators (RecoveryManager only)
+    # ------------------------------------------------------------------
+    def _bump_epoch(self) -> None:
+        self.topology_epoch += 1
+
+    def kill_gpm(self, gpm_id: int) -> None:
+        """Mark ``gpm_id`` dead mid-run and invalidate routes."""
+        coord = self.topology.gpm_tiles[gpm_id].coordinate
+        self.dead_gpm_ids.add(gpm_id)
+        self.dead_tiles.add(coord)
+        self._recompute_live()
+        self._bump_epoch()
+
+    def recover_gpm(self, gpm_id: int) -> None:
+        """Mark ``gpm_id`` alive again and invalidate routes."""
+        coord = self.topology.gpm_tiles[gpm_id].coordinate
+        self.dead_gpm_ids.discard(gpm_id)
+        self.dead_tiles.discard(coord)
+        self._recompute_live()
+        self._bump_epoch()
+
+    def degrade_link(self, link: LinkKey, factor: float) -> None:
+        """Run ``link`` (both directions) at ``factor`` bandwidth."""
+        a, b = link
+        key = (a, b) if a <= b else (b, a)
+        self.degraded[key] = factor
+        self._bump_epoch()
+
+    def restore_link(self, link: LinkKey) -> None:
+        """Return ``link`` to full health: clears any degradation and
+        resurrects the link if it was dead (both directions)."""
+        a, b = link
+        key = (a, b) if a <= b else (b, a)
+        self.degraded.pop(key, None)
+        self.dead_links.discard((a, b))
+        self.dead_links.discard((b, a))
+        self._bump_epoch()
 
     # ------------------------------------------------------------------
     # Permanent faults
@@ -118,10 +208,14 @@ class FaultState:
 
         The XY route is used whenever it survives; otherwise the BFS
         detour.  ``extra_hops`` is the detour's cost over the Manhattan
-        distance.  Routes are cached per (src, dst): permanent faults do
-        not change mid-run.  Raises
+        distance.  Routes are cached per (src, dst) and the cache is
+        flushed whenever ``topology_epoch`` moves, so a link restored by
+        the timeline is actually used again.  Raises
         :class:`~repro.errors.UnreachableError` when partitioned.
         """
+        if self._routes_epoch != self.topology_epoch:
+            self._routes.clear()
+            self._routes_epoch = self.topology_epoch
         key = (src, dst)
         cached = self._routes.get(key)
         if cached is not None:

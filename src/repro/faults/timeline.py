@@ -1,0 +1,330 @@
+"""Fault timelines: scheduled mid-run fault and recovery events.
+
+PR 4's :class:`~repro.faults.plan.FaultPlan` freezes every fault at cycle
+0; a :class:`FaultTimeline` adds the *time axis*.  It is an ordered,
+frozen, JSON-round-trippable tuple of events the
+:class:`~repro.faults.recovery.RecoveryManager` replays as ordinary
+simulator events:
+
+* :class:`DegradeLink` — a link goes fail-slow (its effective bandwidth
+  is multiplied by ``bandwidth_factor``; serialisation time scales, the
+  busy-until clock stays integer);
+* :class:`RestoreLink` — a degraded (or even dead) link returns to full
+  health;
+* :class:`DrainWarning` — a GPM is predicted to die by ``deadline``; its
+  hottest pages are checkpoint-migrated off while it is still alive;
+* :class:`KillGpm` — the GPM dies mid-run: its issue engine halts, its
+  outstanding translations are abandoned, and its still-owned pages are
+  emergency-remapped to a survivor (no data copy — whatever the drain
+  did not save is lost);
+* :class:`RecoverGpm` — the GPM hot re-attaches: its pages are migrated
+  back home (with copy traffic this time) and its remaining trace
+  resumes.
+
+Events at the same cycle apply in a fixed severity order (degrade,
+restore, drain, kill, recover), and ties inside one kind break on the
+operand, so a timeline is a *canonical* value: equal timelines are equal
+tuples, hash equal, and serialise byte-identically — which is what lets
+the exec layer's content-addressed cache key on them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+Coordinate = Tuple[int, int]
+LinkSpec = Tuple[Coordinate, Coordinate]
+
+
+def _canonical_link(link: LinkSpec) -> LinkSpec:
+    a, b = tuple(link[0]), tuple(link[1])
+    return (a, b) if a <= b else (b, a)
+
+
+def _check_cycle(cycle: int) -> None:
+    if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+        raise ConfigurationError(
+            f"timeline event cycle must be a non-negative integer, "
+            f"got {cycle!r}"
+        )
+
+
+@dataclass(frozen=True)
+class DegradeLink:
+    """At ``cycle``, ``link`` runs at ``bandwidth_factor`` of its rated
+    bandwidth (fail-slow).  Routing is unchanged — the link still works,
+    it just serialises slower."""
+
+    cycle: int
+    link: LinkSpec
+    bandwidth_factor: float
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle)
+        object.__setattr__(self, "link", _canonical_link(self.link))
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ConfigurationError(
+                f"bandwidth_factor must be in (0, 1], "
+                f"got {self.bandwidth_factor}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "degrade_link",
+            "cycle": self.cycle,
+            "link": [list(self.link[0]), list(self.link[1])],
+            "bandwidth_factor": self.bandwidth_factor,
+        }
+
+
+@dataclass(frozen=True)
+class RestoreLink:
+    """At ``cycle``, ``link`` returns to full bandwidth.  A *dead* link
+    (from the static plan or an earlier failure) is resurrected too —
+    traffic returns to the plain XY route."""
+
+    cycle: int
+    link: LinkSpec
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle)
+        object.__setattr__(self, "link", _canonical_link(self.link))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "restore_link",
+            "cycle": self.cycle,
+            "link": [list(self.link[0]), list(self.link[1])],
+        }
+
+
+@dataclass(frozen=True)
+class DrainWarning:
+    """At ``cycle``, GPM ``gpm`` is predicted dead by ``deadline``: the
+    recovery manager checkpoint-migrates its hottest pages to survivors
+    while the clock runs.  Pages drained in time survive the kill with
+    their data; the rest fall back to the kill's emergency remap."""
+
+    cycle: int
+    gpm: Coordinate
+    deadline: int
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle)
+        object.__setattr__(self, "gpm", tuple(self.gpm))
+        if not isinstance(self.deadline, int) or self.deadline <= self.cycle:
+            raise ConfigurationError(
+                f"drain deadline must be an integer after the warning "
+                f"cycle, got cycle={self.cycle} deadline={self.deadline!r}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "drain_warning",
+            "cycle": self.cycle,
+            "gpm": list(self.gpm),
+            "deadline": self.deadline,
+        }
+
+
+@dataclass(frozen=True)
+class KillGpm:
+    """At ``cycle``, GPM ``gpm`` fail-stops mid-run."""
+
+    cycle: int
+    gpm: Coordinate
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle)
+        object.__setattr__(self, "gpm", tuple(self.gpm))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": "kill_gpm", "cycle": self.cycle, "gpm": list(self.gpm)}
+
+
+@dataclass(frozen=True)
+class RecoverGpm:
+    """At ``cycle``, GPM ``gpm`` hot re-attaches and resumes its trace."""
+
+    cycle: int
+    gpm: Coordinate
+
+    def __post_init__(self) -> None:
+        _check_cycle(self.cycle)
+        object.__setattr__(self, "gpm", tuple(self.gpm))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "recover_gpm",
+            "cycle": self.cycle,
+            "gpm": list(self.gpm),
+        }
+
+
+FaultEvent = Union[DegradeLink, RestoreLink, DrainWarning, KillGpm, RecoverGpm]
+
+#: Same-cycle application order: degradations land before restorations,
+#: drains before the kill they anticipate, recoveries last.
+_KIND_ORDER = {
+    DegradeLink: 0,
+    RestoreLink: 1,
+    DrainWarning: 2,
+    KillGpm: 3,
+    RecoverGpm: 4,
+}
+
+_KIND_NAMES = {
+    "degrade_link": DegradeLink,
+    "restore_link": RestoreLink,
+    "drain_warning": DrainWarning,
+    "kill_gpm": KillGpm,
+    "recover_gpm": RecoverGpm,
+}
+
+
+def _sort_key(event: FaultEvent) -> Tuple:
+    operand = event.link if hasattr(event, "link") else event.gpm
+    return (event.cycle, _KIND_ORDER[type(event)], operand)
+
+
+@dataclass(frozen=True)
+class FaultTimeline:
+    """A canonical, hashable schedule of mid-run fault events."""
+
+    events: Tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for event in self.events:
+            if type(event) not in _KIND_ORDER:
+                raise ConfigurationError(
+                    f"unknown timeline event {event!r}"
+                )
+        object.__setattr__(
+            self, "events", tuple(sorted(self.events, key=_sort_key))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    @property
+    def last_cycle(self) -> int:
+        return max((e.cycle for e in self.events), default=0)
+
+    def describe(self) -> str:
+        return f"tl-{len(self.events)}@{self.last_cycle}"
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FaultTimeline":
+        events: List[FaultEvent] = []
+        for raw in data.get("events", ()):
+            kind = raw.get("kind")
+            event_cls = _KIND_NAMES.get(kind)
+            if event_cls is None:
+                raise ConfigurationError(
+                    f"unknown timeline event kind {kind!r}"
+                )
+            fields = {k: v for k, v in raw.items() if k != "kind"}
+            if "link" in fields:
+                a, b = fields["link"]
+                fields["link"] = (tuple(a), tuple(b))
+            if "gpm" in fields:
+                fields["gpm"] = tuple(fields["gpm"])
+            events.append(event_cls(**fields))
+        return cls(events=tuple(events))
+
+
+def recovery_scenario(
+    width: int,
+    height: int,
+    seed: int,
+    kill_cycle: int,
+    recover_cycle: Optional[int] = None,
+    drain_cycle: Optional[int] = None,
+    degrade_cycle: Optional[int] = None,
+    restore_cycle: Optional[int] = None,
+    bandwidth_factor: float = 1.0 / 64.0,
+    num_slow_links: int = 8,
+    num_victims: int = 1,
+) -> FaultTimeline:
+    """Seeded degrade→drain→kill→recover scenario on a ``width x height``
+    mesh.
+
+    One seeded stream picks the victim GPMs (never the CPU tile) and the
+    fail-slow links.  The CPU tile's own links degrade first — they are
+    the translation artery every CPU-bound request crosses — and the
+    remainder of the quota is sampled across the whole mesh so
+    peer-to-peer traffic feels the degradation too.  The draws happen
+    whether or not each optional phase is enabled: the same seed names
+    the same victims in a recovered scenario and its fail-stop control,
+    which is what makes the two runs comparable.
+    """
+    rng = random.Random(seed)
+    cpu = (width // 2, height // 2)
+    gpm_coords = [
+        (x, y)
+        for y in range(height)
+        for x in range(width)
+        if (x, y) != cpu
+    ]
+    if not 1 <= num_victims < len(gpm_coords):
+        raise ConfigurationError(
+            f"num_victims must leave at least one survivor, "
+            f"got {num_victims} of {len(gpm_coords)} GPMs"
+        )
+    victims = rng.sample(gpm_coords, num_victims)
+    mesh_links = [
+        _canonical_link(((x, y), (x + dx, y + dy)))
+        for y in range(height)
+        for x in range(width)
+        for dx, dy in ((1, 0), (0, 1))
+        if x + dx < width and y + dy < height
+    ]
+    cpu_links = [link for link in mesh_links if cpu in link]
+    rest = [link for link in mesh_links if cpu not in link]
+    rng.shuffle(rest)
+    slow_links = (cpu_links + rest)[: max(0, num_slow_links)]
+    events: List[FaultEvent] = [
+        KillGpm(kill_cycle, victim) for victim in victims
+    ]
+    if drain_cycle is not None:
+        events.extend(
+            DrainWarning(drain_cycle, victim, deadline=kill_cycle)
+            for victim in victims
+        )
+    if recover_cycle is not None:
+        if recover_cycle <= kill_cycle:
+            raise ConfigurationError(
+                f"recover_cycle {recover_cycle} must follow "
+                f"kill_cycle {kill_cycle}"
+            )
+        events.extend(RecoverGpm(recover_cycle, victim) for victim in victims)
+    if degrade_cycle is not None:
+        for link in slow_links:
+            events.append(DegradeLink(degrade_cycle, link, bandwidth_factor))
+        if restore_cycle is not None:
+            for link in slow_links:
+                events.append(RestoreLink(restore_cycle, link))
+    return FaultTimeline(events=tuple(events))
+
+
+__all__ = [
+    "DegradeLink",
+    "RestoreLink",
+    "DrainWarning",
+    "KillGpm",
+    "RecoverGpm",
+    "FaultEvent",
+    "FaultTimeline",
+    "recovery_scenario",
+]

@@ -40,6 +40,9 @@ class TraceDriver:
         self.issued = 0
         self._tick_scheduled = False
         self.on_drain: Optional[Callable[[], None]] = None
+        #: A halted driver issues nothing; set by GPM.halt()/resume()
+        #: when the fault timeline kills/recovers the module.
+        self.halted = False
 
     # ------------------------------------------------------------------
     def load(self, trace: List[int]) -> None:
@@ -61,6 +64,29 @@ class TraceDriver:
         return self.trace_exhausted and self.outstanding == 0
 
     # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Stop issuing; the remaining trace stays loaded for resume()."""
+        self.halted = True
+
+    def resume(self) -> None:
+        """Pick the trace back up after a mid-run recovery."""
+        self.halted = False
+        if not self.trace_exhausted:
+            self._schedule_tick(0)
+
+    def abandon(self, count: int) -> None:
+        """Drop ``count`` in-flight accesses without completing them (the
+        issuing module died) and rewind the trace cursor by as many
+        positions: the lost work is *re-issued* after a resume(), the
+        checkpoint-restart semantics a drained-and-recovered module needs.
+        Never fires on_drain."""
+        self.outstanding -= count
+        self.position = max(0, self.position - count)
+
+    def abandon_one(self) -> None:
+        self.abandon(1)
+
+    # ------------------------------------------------------------------
     def complete_one(self) -> None:
         """An in-flight access finished; free its slot and keep issuing."""
         self.outstanding -= 1
@@ -72,7 +98,7 @@ class TraceDriver:
 
     # ------------------------------------------------------------------
     def _schedule_tick(self, delay: int) -> None:
-        if self._tick_scheduled:
+        if self._tick_scheduled or self.halted:
             return
         self._tick_scheduled = True
         self.sim.schedule(delay, self._tick)

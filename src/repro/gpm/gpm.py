@@ -113,6 +113,14 @@ class GPM(Component):
         # probes serialise on a busy-until port clock, so GPMs sitting on
         # popular routes become probe hotspots.
         self._probe_port_busy = 0
+        #: True between a timeline KillGpm and its RecoverGpm: the issue
+        #: engine is stopped and straggler events for this module no-op.
+        self._halted = False
+        #: Bumped by every halt().  Scheduled continuations and
+        #: data-phase round-trips carry the epoch they were issued under,
+        #: so a reply belonging to an access the kill abandoned is
+        #: recognisably stale instead of double-completing.
+        self._fail_epoch = 0
         # Outstanding translation misses (bounded by the L2 TLB MSHRs).
         self._pending: Dict[int, PendingTranslation] = {}
         self._mshr_capacity = config.l2_tlb.num_mshrs
@@ -142,25 +150,73 @@ class GPM(Component):
             self.on_finished(self)
 
     # ------------------------------------------------------------------
+    # Fault timeline: mid-run death and recovery
+    # ------------------------------------------------------------------
+    def halt(self) -> None:
+        """Fail-stop: stop issuing and abandon every in-flight access.
+
+        Everything the driver still counts outstanding — queued waiters,
+        MSHR-stalled accesses, and accesses out in the data phase whose
+        replies may never arrive (a response to a dead module is a dead
+        letter) — is abandoned and rewound, so a later resume() re-issues
+        the lost work from a clean ledger.  Bumping ``_fail_epoch``
+        invalidates every already-scheduled continuation of those
+        accesses: a late miss check, HBM completion, or data response
+        from before the kill is dropped instead of double-completing.
+        """
+        self._halted = True
+        self._fail_epoch += 1
+        self.driver.halt()
+        abandoned = self.driver.outstanding
+        if self._tracer is not None:
+            for pending in self._pending.values():
+                if pending.trace_id is not None:
+                    self._tracer.async_end(
+                        self.sim.now, "remote_translation",
+                        cat="translation", track=self.name,
+                        span_id=pending.trace_id,
+                        args={"served_by": "abandoned", "vpn": pending.vpn},
+                    )
+        self._pending.clear()
+        self._stalled.clear()
+        if abandoned:
+            self.bump("halt_abandoned_accesses", abandoned)
+            self.driver.abandon(abandoned)
+
+    def resume(self) -> None:
+        """Hot re-attach: the remaining trace resumes issuing."""
+        self._halted = False
+        self.driver.resume()
+
+    # ------------------------------------------------------------------
     # Access pipeline: translate, then touch data
     # ------------------------------------------------------------------
     def _begin_access(self, vaddr: int) -> None:
         vpn = self.address_space.vpn_of(vaddr)
+        epoch = self._fail_epoch
         result = self.hierarchy.probe_local(vpn)
         if result.entry is not None:
             self._count(_LOCAL_OUTCOME[result.outcome])
             self.sim.schedule(
                 result.latency,
-                lambda: self._data_phase(vaddr, result.entry),
+                lambda: self._data_phase(vaddr, result.entry, epoch),
             )
         else:
             needs_walk = result.outcome is ProbeOutcome.NEEDS_WALK
             self.sim.schedule(
                 result.latency,
-                lambda: self._translation_miss(vaddr, vpn, needs_walk),
+                lambda: self._translation_miss(vaddr, vpn, needs_walk, epoch),
             )
 
-    def _translation_miss(self, vaddr: int, vpn: int, needs_walk: bool) -> None:
+    def _translation_miss(
+        self, vaddr: int, vpn: int, needs_walk: bool, epoch: int
+    ) -> None:
+        if epoch != self._fail_epoch:
+            # The module died between issue and the miss check; halt()
+            # already abandoned this access, so the stale continuation
+            # just evaporates.
+            self.bump("halted_drops")
+            return
         pending = self._pending.get(vpn)
         if pending is not None:
             pending.waiters.append(vaddr)
@@ -236,7 +292,7 @@ class GPM(Component):
         pending.epoch += 1
         self.faults.bump("retries")
         self.bump("translation_retries")
-        backoff = int(self.faults.retry.delay_for(pending.attempts - 1))
+        backoff = self.faults.retry.delay_cycles_for(pending.attempts - 1)
         retry_epoch = pending.epoch
         self.sim.schedule(backoff, lambda: self._retry_remote(vpn, retry_epoch))
 
@@ -339,30 +395,54 @@ class GPM(Component):
     # ------------------------------------------------------------------
     # Data phase
     # ------------------------------------------------------------------
-    def _data_phase(self, vaddr: int, entry: PageTableEntry) -> None:
+    def _data_phase(
+        self, vaddr: int, entry: PageTableEntry, epoch: int = None
+    ) -> None:
+        if epoch is None:
+            epoch = self._fail_epoch
+        elif epoch != self._fail_epoch:
+            # Local-hit continuation of an access the kill abandoned.
+            self.bump("halted_drops")
+            return
         offset = self.address_space.offset_of(vaddr)
-        key = DataCache.line_key(entry.owner_gpm, entry.pfn, offset)
+        owner_gpm = entry.owner_gpm
+        if (
+            self.faults is not None
+            and self.faults.dynamic
+            and not self.faults.gpm_alive(owner_gpm)
+        ):
+            # Stale in-flight translation: the owner died (and its pages
+            # were re-homed) after this entry was resolved.  Follow the
+            # same deterministic remap the kill applied.
+            owner_gpm = self.faults.remap_owner(owner_gpm)
+            self.bump("dead_owner_data_redirects")
+        key = DataCache.line_key(owner_gpm, entry.pfn, offset)
         if self.l2_data.access(key):
-            self.sim.schedule(self.config.l2_cache_hit_latency, self._complete_access)
+            self.sim.schedule(
+                self.config.l2_cache_hit_latency,
+                lambda: self._complete_if_current(epoch),
+            )
             return
-        if entry.owner_gpm == self.gpm_id:
+        if owner_gpm == self.gpm_id:
             done_at = self.hbm.access(self.sim.now)
-            self.sim.schedule_at(done_at, self._complete_access)
+            self.sim.schedule_at(
+                done_at, lambda: self._complete_if_current(epoch)
+            )
             return
-        owner_coord = self.policy.coord_of_gpm(entry.owner_gpm)
+        owner_coord = self.policy.coord_of_gpm(owner_gpm)
         self.network.send(
             Message(
                 MessageKind.DATA_REQ,
                 src=self.coordinate,
                 dst=owner_coord,
-                payload=(key, self.coordinate),
+                payload=(key, self.coordinate, epoch),
             )
         )
         self.bump("remote_data_accesses")
 
     def handle_data_request(self, message: Message) -> None:
         """Serve a remote cacheline read from our L2 or HBM."""
-        key, requester_coord = message.payload
+        key, requester_coord, epoch = message.payload
         if self.l2_data.probe(key):
             latency = self.config.l2_cache_hit_latency
         else:
@@ -374,12 +454,22 @@ class GPM(Component):
                     MessageKind.DATA_RESP,
                     src=self.coordinate,
                     dst=requester_coord,
-                    payload=key,
+                    payload=(key, epoch),
                 )
             ),
         )
 
-    def handle_data_response(self, _message: Message) -> None:
+    def handle_data_response(self, message: Message) -> None:
+        _key, epoch = message.payload
+        self._complete_if_current(epoch)
+
+    def _complete_if_current(self, epoch: int) -> None:
+        if epoch != self._fail_epoch:
+            # The access this completion belongs to was abandoned by a
+            # kill (and will be re-issued after recovery); completing it
+            # now would double-count against the rewound trace ledger.
+            self.bump("stale_completions")
+            return
         self._complete_access()
 
     def _complete_access(self) -> None:

@@ -29,6 +29,8 @@ class Link:
         "messages_carried",
         "total_wait_cycles",
         "busy_cycles",
+        "bandwidth_factor",
+        "last_serialization",
     )
 
     def __init__(
@@ -48,12 +50,22 @@ class Link:
         self.messages_carried = 0
         self.total_wait_cycles = 0
         self.busy_cycles = 0
+        #: Fail-slow multiplier on effective bandwidth; 1.0 = healthy.
+        #: Serialisation time scales, the busy-until clock stays integer.
+        self.bandwidth_factor = 1.0
+        #: Serialisation charged for the most recent transmit, so the
+        #: conservation sanitizer can shadow busy_cycles exactly even
+        #: when the factor changes between messages.
+        self.last_serialization = 0
 
     def transmit(self, arrival: int, size_bytes: int, is_translation: bool) -> int:
         """Account one message; returns its delivery time at ``dst``."""
         start = max(arrival, self.busy_until)
         self.total_wait_cycles += start - arrival
-        serialization = serialization_cycles(size_bytes, self.bytes_per_cycle)
+        serialization = serialization_cycles(
+            size_bytes, self.bytes_per_cycle * self.bandwidth_factor
+        )
+        self.last_serialization = serialization
         self.busy_until = start + serialization
         self.busy_cycles += serialization
         self.bytes_carried += size_bytes

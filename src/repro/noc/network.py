@@ -86,6 +86,16 @@ class MeshNetwork(Component):
             self._links[key] = link
         return link
 
+    def set_link_bandwidth_factor(
+        self, a: Coordinate, b: Coordinate, factor: float
+    ) -> None:
+        """Apply a fail-slow bandwidth factor to ``a<->b`` (both
+        directions).  In-flight transmissions keep their already-charged
+        schedule; only messages transmitted after this call serialise at
+        the new rate."""
+        self._link(a, b).bandwidth_factor = factor
+        self._link(b, a).bandwidth_factor = factor
+
     # ------------------------------------------------------------------
     # Transfer
     # ------------------------------------------------------------------
@@ -99,7 +109,15 @@ class MeshNetwork(Component):
                     f"message {what} {(x, y)} outside "
                     f"{width}x{height} mesh"
                 )
-        if self._faults is not None and message.dst in self._faults.dead_tiles:
+        if (
+            self._faults is not None
+            and not self._faults.dynamic
+            and message.dst in self._faults.dead_tiles
+        ):
+            # Static plans fail fast: the destination was dead before the
+            # run started, so the send is a caller bug.  Under a timeline
+            # the same send is a legitimate race with a mid-run death and
+            # becomes a dead-letter in send() instead.
             raise DeadDestinationError(
                 f"destination tile {message.dst} is disabled by the "
                 f"fault plan"
@@ -117,10 +135,15 @@ class MeshNetwork(Component):
         of scheduling an event that would silently hang the run.
         """
         self._validate_endpoints(message)
-        handler = on_deliver or self._handlers.get(message.dst)
-        if handler is None:
-            raise RoutingError(f"no handler attached at {message.dst}")
         faults = self._faults
+        dead_letter = (
+            faults is not None
+            and faults.dynamic
+            and message.dst in faults.dead_tiles
+        )
+        handler = on_deliver or self._handlers.get(message.dst)
+        if handler is None and not dead_letter:
+            raise RoutingError(f"no handler attached at {message.dst}")
         self.messages_sent += 1
         self.messages_by_kind[message.kind] = (
             self.messages_by_kind.get(message.kind, 0) + 1
@@ -139,7 +162,7 @@ class MeshNetwork(Component):
                 # data plane's outstanding-access window has no retry
                 # protocol, while every translation message is covered by
                 # the requester-side timeout/retry machinery.
-                if message.is_translation_traffic:
+                if message.is_translation_traffic and not dead_letter:
                     verdict = faults.transient_verdict()
             else:
                 links = route_links(message.src, message.dst)
@@ -152,11 +175,14 @@ class MeshNetwork(Component):
             if self._tracer is not None:
                 hop_times = []
             for src, dst in links:
-                arrival = self._link(src, dst).transmit(
+                link = self._link(src, dst)
+                arrival = link.transmit(
                     arrival, message.size_bytes, message.is_translation_traffic
                 )
                 if self._conservation is not None:
-                    self._conservation.on_hop((src, dst), message.size_bytes)
+                    self._conservation.on_hop(
+                        (src, dst), message.size_bytes, link.last_serialization
+                    )
                 if hop_times is not None:
                     hop_times.append([list(src), list(dst), arrival])
         else:
@@ -166,6 +192,16 @@ class MeshNetwork(Component):
             arrival += faults.plan.delay_cycles
         if self._tracer is not None:
             self._trace_send(message, sent_at, arrival, hop_times)
+        if dead_letter:
+            # The send raced a mid-run death: its bytes crossed the links
+            # but nobody is home at the destination.  Account the loss
+            # explicitly so sanitized runs stay green; the requester-side
+            # timeout machinery bounds any translation waiting on it.
+            faults.bump("timeline.dead_letters")
+            if self._conservation is not None:
+                self._conservation.on_send()
+                self._conservation.on_drop()
+            return arrival
         if verdict == "drop":
             # The message traversed its links (the bytes were spent) but
             # never arrives; the conservation ledger is told explicitly so
@@ -277,6 +313,12 @@ class MeshNetwork(Component):
                 })
             for key, row in rows.items():
                 row["failed"] = key in self._faults.dead_links
+            if self._faults.dynamic:
+                for key, row in rows.items():
+                    link = self._links.get(key)
+                    row["bandwidth_factor"] = (
+                        link.bandwidth_factor if link is not None else 1.0
+                    )
         return [rows[key] for key in sorted(rows)]
 
     def traffic_report(self) -> Dict[str, Dict[str, int]]:

@@ -67,9 +67,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--json", action="store_true", help="emit JSON")
     faults_group = parser.add_argument_group("fault injection")
     faults_group.add_argument(
-        "--faults", type=float, default=0.0, metavar="FRACTION",
-        help="inject a deterministic fault plan of this severity "
-             "(0 disables; see repro.faults.degradation_plan)",
+        "--faults", default="0", metavar="FRACTION|PLAN.json",
+        help="inject a deterministic fault plan: either a severity "
+             "fraction (0 disables; see repro.faults.degradation_plan) "
+             "or the path of a FaultPlan JSON file, which may carry a "
+             "timeline of mid-run degrade/drain/kill/recover events "
+             "(see docs/ROBUSTNESS.md)",
     )
     faults_group.add_argument(
         "--fault-seed", type=int, default=None,
@@ -145,17 +148,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     if not args.no_capacity_scaling:
         config = capacity_scaled(config, args.scale)
-    if args.faults < 0:
+    fault_plan = None
+    try:
+        fault_fraction = float(args.faults)
+    except ValueError:
+        fault_fraction = None
+    if fault_fraction is None:
+        # Not a number: the argument names a FaultPlan JSON file.
+        from repro.errors import ReproError
+        from repro.faults import FaultPlan
+
+        try:
+            with open(args.faults, "r", encoding="utf-8") as handle:
+                fault_plan = FaultPlan.from_dict(json.load(handle))
+        except (OSError, ValueError, ReproError) as exc:
+            print(f"error: cannot load fault plan {args.faults!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+    elif fault_fraction < 0:
         print(f"error: --faults must be >= 0, got {args.faults}",
               file=sys.stderr)
         return 2
-    if args.faults > 0:
+    elif fault_fraction > 0:
         from repro.faults import degradation_plan
 
         fault_seed = args.fault_seed if args.fault_seed is not None else args.seed
-        config = config.with_faults(
-            degradation_plan(width, height, fault_seed, args.faults)
-        )
+        fault_plan = degradation_plan(width, height, fault_seed, fault_fraction)
+    if fault_plan is not None:
+        config = config.with_faults(fault_plan)
     # Fail on unwritable output paths before burning simulation time.
     for out_path in (args.trace, args.metrics_out):
         if out_path:
@@ -179,7 +199,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sanitize=args.sanitize,
     )
     notice = sys.stderr if args.json else sys.stdout
-    if args.faults > 0:
+    if fault_plan is not None:
         fault_report = result.extras.get("faults", {})
         counters = fault_report.get("counters", {})
         print(f"faults: {fault_report.get('dead_links', 0)} dead links, "
@@ -188,6 +208,13 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{counters.get('injected.delays', 0)} delays, "
               f"{counters.get('injected.duplicates', 0)} duplicates, "
               f"{counters.get('retries', 0)} retries", file=notice)
+        if fault_plan.timeline is not None:
+            print(f"timeline: {counters.get('timeline.kills', 0)} kills, "
+                  f"{counters.get('timeline.recoveries', 0)} recoveries, "
+                  f"{counters.get('timeline.drained_pages', 0)} drained, "
+                  f"{counters.get('timeline.rehomed_pages', 0)} re-homed, "
+                  f"{counters.get('timeline.dead_letters', 0)} dead letters",
+                  file=notice)
     if args.sanitize:
         sanitizers = result.extras.get("sanitizers", {})
         print(f"sanitizers: clean "

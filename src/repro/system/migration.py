@@ -99,39 +99,71 @@ class MigrationEngine(Component):
         if self.sim.now < self._cooldown_until.get(vpn, 0):
             self.migration_stats.rejected_cooldown += 1
             return
-        self._cooldown_until[vpn] = self.sim.now + self.config.cooldown_cycles
-        self._walks.pop(vpn, None)
-        source_gpm = entry.owner_gpm
+        self.migrate_pages([vpn], dest_gpm)
+
+    def migrate_pages(
+        self, vpns, dest_gpm: int, *, copy: bool = True
+    ) -> int:
+        """Re-home ``vpns`` onto ``dest_gpm``; returns pages moved.
+
+        The batch mechanism behind both the hot-page policy above and the
+        recovery manager's drain / emergency-remap / re-home paths.  One
+        wafer-wide shootdown covers the whole batch; each page then gets a
+        fresh frame owned by ``dest_gpm``, functionally atomic (no
+        simulated instant where a page is unmapped).  With ``copy`` the
+        data travels as one bulk PAGE_MIGRATION message per source GPM;
+        ``copy=False`` models an emergency remap of a dead owner's pages —
+        the data is lost, only the mapping moves.
+        """
         page_size = self.wafer.address_space.page_size
+        entries = []
+        for vpn in vpns:
+            entry = self.wafer.iommu.page_table.lookup(vpn)
+            if entry is None or entry.owner_gpm == dest_gpm:
+                continue
+            entries.append(entry)
+        if not entries:
+            return 0
 
         # Functional remap, atomic from the simulation's point of view:
-        # scrub every stale copy, then re-home the page.
-        shootdown(self.wafer, [vpn])
-        new_entry = PageTableEntry(
-            vpn=vpn,
-            pfn=self._allocate_frame(),
-            owner_gpm=dest_gpm,
-            readable=entry.readable,
-            writable=entry.writable,
-        )
-        self.wafer.iommu.page_table.insert(new_entry)
+        # scrub every stale copy, then re-home the pages.
+        shootdown(self.wafer, [entry.vpn for entry in entries])
         dest = self.wafer.gpms[dest_gpm]
-        dest.hierarchy.install_local_page(new_entry)
+        by_source: Dict[int, list] = {}
+        for entry in entries:
+            new_entry = PageTableEntry(
+                vpn=entry.vpn,
+                pfn=self._allocate_frame(),
+                owner_gpm=dest_gpm,
+                readable=entry.readable,
+                writable=entry.writable,
+            )
+            self.wafer.iommu.page_table.insert(new_entry)
+            dest.hierarchy.install_local_page(new_entry)
+            self._walks.pop(entry.vpn, None)
+            self._cooldown_until[entry.vpn] = (
+                self.sim.now + self.config.cooldown_cycles
+            )
+            by_source.setdefault(entry.owner_gpm, []).append(entry.vpn)
 
-        # Timing and traffic: one bulk copy message home -> destination.
-        self.wafer.network.send(
-            Message(
-                MessageKind.PAGE_MIGRATION,
-                src=self.wafer.gpms[source_gpm].coordinate,
-                dst=dest.coordinate,
-                payload=vpn,
-                size_bytes=page_size,
-            ),
-            on_deliver=lambda _msg: None,
-        )
-        self.migration_stats.migrations += 1
-        self.migration_stats.bytes_moved += page_size
-        self.bump("migrations")
+        if copy:
+            # Timing and traffic: one bulk copy message per source GPM.
+            for source_gpm in sorted(by_source):
+                moved = by_source[source_gpm]
+                self.wafer.network.send(
+                    Message(
+                        MessageKind.PAGE_MIGRATION,
+                        src=self.wafer.gpms[source_gpm].coordinate,
+                        dst=dest.coordinate,
+                        payload=moved[0] if len(moved) == 1 else tuple(moved),
+                        size_bytes=page_size * len(moved),
+                    ),
+                    on_deliver=lambda _msg: None,
+                )
+            self.migration_stats.bytes_moved += page_size * len(entries)
+        self.migration_stats.migrations += len(entries)
+        self.bump("migrations", len(entries))
+        return len(entries)
 
     def _allocate_frame(self) -> int:
         self._next_pfn += 1

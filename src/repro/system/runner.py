@@ -164,6 +164,13 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         buffer_series=buffer_series,
         extras={
             "all_finished": wafer.all_finished,
+            # Accesses that actually completed; under a fault timeline a
+            # fail-stopped GPM's remaining work is lost, so this can fall
+            # short of total_accesses (the cost-per-access denominator
+            # ext_recovery normalises by).
+            "completed_accesses": sum(
+                g.stat("accesses_completed") for g in wafer.gpms
+            ),
             "truncated": sim.truncated,
             "dropped_events": sim.dropped_events,
             "prefetch_accuracy_raw": prefetch_raw,

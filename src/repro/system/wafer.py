@@ -111,7 +111,17 @@ class WaferScaleGPU:
 
             self.migration = MigrationEngine(self.sim, self, config.migration)
             self.iommu.migration = self.migration
-        self._finished = 0
+        #: Timeline replayer; present only when the plan schedules
+        #: mid-run events.  Imported lazily (repro.faults.recovery pulls
+        #: in repro.system.migration).
+        self.recovery = None
+        if self.faults is not None and self.faults.dynamic:
+            from repro.faults.recovery import RecoveryManager
+
+            self.recovery = RecoveryManager(
+                self.sim, self, config.faults.timeline
+            )
+        self._finished: set = set()
         self._metrics_collected = False
         if self.obs.registry.enabled or self.obs.tracer.enabled:
             self._attach_depth_samplers()
@@ -213,12 +223,26 @@ class WaferScaleGPU:
             gpm.start()
         return self.sim.run()
 
-    def _gpm_finished(self, _gpm: GPM) -> None:
-        self._finished += 1
+    def _gpm_finished(self, gpm: GPM) -> None:
+        self._finished.add(gpm.gpm_id)
+
+    def note_gpm_killed(self, gpm: GPM) -> None:
+        """A timeline kill: the module's remaining work is lost, so it
+        counts as finished (PR 4's boot-dead semantics, applied mid-run)
+        until a recovery resurrects it."""
+        if gpm.finish_time is None:
+            gpm.finish_time = self.sim.now
+        self._finished.add(gpm.gpm_id)
+
+    def note_gpm_recovered(self, gpm: GPM) -> None:
+        """Undo the kill's finish bookkeeping when trace remains to run."""
+        if not gpm.driver.drained:
+            gpm.finish_time = None
+            self._finished.discard(gpm.gpm_id)
 
     @property
     def all_finished(self) -> bool:
-        return self._finished >= self.num_gpms
+        return len(self._finished) >= self.num_gpms
 
     def execution_cycles(self) -> int:
         """Wall-clock of the slowest GPM (the workload's makespan)."""
@@ -266,4 +290,6 @@ class WaferScaleGPU:
             })
             if self.faults is not None:
                 registry.merge_stats("faults", dict(self.faults.counters))
+            if self.recovery is not None:
+                registry.merge_stats("recovery", self.recovery.stats)
         return registry.snapshot()

@@ -30,10 +30,10 @@ def cache():
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        assert len(EXPERIMENT_IDS) == 26
+        assert len(EXPERIMENT_IDS) == 27
         for fig in (2, 3, 4, 5, 6, 7, 8, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22):
             assert f"fig{fig:02d}" in EXPERIMENT_IDS
-        for ext in ("rotation", "layers", "threshold", "shootdown"):
+        for ext in ("rotation", "layers", "threshold", "shootdown", "recovery"):
             assert f"ext_{ext}" in EXPERIMENT_IDS
 
     def test_lookup(self):
