@@ -84,6 +84,12 @@ class DeterminismError(SanitizerError):
     digests — the invariant the disk result cache depends on."""
 
 
+class BenchError(ReproError):
+    """Raised for invalid BENCH records: an unreadable or missing baseline
+    file, a schema version newer than this code understands, or a record
+    missing required fields."""
+
+
 class ReproWarning(UserWarning):
     """Base class for warnings the simulator emits about suspect results."""
 

@@ -16,8 +16,10 @@ from repro.exec.jobs import (
     JobFailure,
     RunJob,
     execute_job,
+    execute_job_observed,
     make_job,
 )
+from repro.exec.progress import SweepHeartbeat, read_heartbeats
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -25,7 +27,10 @@ __all__ = [
     "JobFailure",
     "RunJob",
     "SweepExecutor",
+    "SweepHeartbeat",
     "default_jobs",
     "execute_job",
+    "execute_job_observed",
     "make_job",
+    "read_heartbeats",
 ]

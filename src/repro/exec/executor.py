@@ -9,7 +9,10 @@ worker crash, and a structured :class:`~repro.exec.jobs.JobFailure` record
 instead of aborting the sweep).  Progress is published through a
 :class:`~repro.obs.metrics.MetricsRegistry` under ``sweep.jobs.*`` so
 ``--metrics-out`` captures queued/done/failed/cache-hit counts and the
-per-job wall-clock histogram.
+per-job wall-clock histogram; ``heartbeat=`` additionally streams a live
+JSONL pulse (:mod:`repro.exec.progress`), and ``worker_metrics=True``
+folds each worker process's counter totals back into the parent registry
+under ``workers.*``.
 """
 
 from __future__ import annotations
@@ -22,7 +25,14 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.exec.diskcache import DiskResultCache
-from repro.exec.jobs import JobFailure, RunJob, execute_job, execute_job_timed
+from repro.exec.jobs import (
+    JobFailure,
+    RunJob,
+    execute_job,
+    execute_job_observed,
+    execute_job_timed,
+)
+from repro.exec.progress import SweepHeartbeat
 from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.system.result import RunResult
@@ -44,6 +54,9 @@ class SweepExecutor:
         job_timeout: Optional[float] = None,
         retries: int = 2,
         retry_backoff: float = 0.25,
+        worker_metrics: bool = False,
+        heartbeat: Optional[str] = None,
+        heartbeat_every: float = 1.0,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
@@ -59,6 +72,15 @@ class SweepExecutor:
             multiplier=2.0,
             max_delay=10.0,
         )
+        #: When True, pool jobs run metrics-enabled and each worker's
+        #: counter totals are folded back into :attr:`registry` under
+        #: ``workers.*`` (sweep-wide TLB/IOMMU/NoC totals for free).
+        self.worker_metrics = bool(worker_metrics)
+        #: Optional JSONL progress pulse — see :mod:`repro.exec.progress`.
+        self.heartbeat: Optional[SweepHeartbeat] = (
+            SweepHeartbeat(heartbeat, every=heartbeat_every)
+            if heartbeat else None
+        )
         self.failures: List[JobFailure] = []
         reg = self.registry
         self._queued = reg.counter("sweep.jobs.queued")
@@ -70,12 +92,42 @@ class SweepExecutor:
         self._hit_disk = reg.counter("sweep.jobs.cache_hit_disk")
         self._running = reg.gauge("sweep.jobs.running")
         self._wall = reg.histogram("sweep.job_wall_seconds")
+        #: Simulated events completed across the sweep (worker-metrics
+        #: pool jobs only — the heartbeat's events/sec numerator).
+        self._events = reg.counter("sweep.events_processed")
+
+    # ------------------------------------------------------------------
+    # Progress heartbeat
+    # ------------------------------------------------------------------
+    def _progress_stats(self) -> Dict[str, object]:
+        # getattr with a default: a disabled registry hands out NullMetric
+        # handles, which carry no ``value``.
+        return {
+            "total": getattr(self._queued, "value", 0),
+            "done": getattr(self._done, "value", 0),
+            "failed": getattr(self._failed, "value", 0),
+            "retried": getattr(self._retried, "value", 0),
+            "cache_hits": getattr(self._hit_memory, "value", 0)
+            + getattr(self._hit_disk, "value", 0),
+            "running": getattr(self._running, "value", 0),
+            "events": getattr(self._events, "value", 0),
+        }
+
+    def _beat(self, force: bool = False) -> None:
+        if self.heartbeat is not None:
+            self.heartbeat.beat(self._progress_stats(), force=force)
+
+    def finish_heartbeat(self) -> None:
+        """Write the terminal heartbeat record (call once, sweep done)."""
+        if self.heartbeat is not None:
+            self.heartbeat.finish(self._progress_stats())
 
     # ------------------------------------------------------------------
     # L2 cache
     # ------------------------------------------------------------------
     def note_memory_hit(self) -> None:
         self._hit_memory.inc()
+        self._beat()
 
     def lookup(self, job: RunJob) -> Optional[RunResult]:
         """Disk (L2) lookup.  Rich jobs never read from disk: the JSON
@@ -85,6 +137,7 @@ class SweepExecutor:
         result = self.disk.load(job)
         if result is not None:
             self._hit_disk.inc()
+            self._beat()
         return result
 
     def store(self, job: RunJob, result: RunResult) -> None:
@@ -135,6 +188,7 @@ class SweepExecutor:
         self._executed.inc()
         self._done.inc()
         self._wall.observe(perf_counter() - started)
+        self._beat()
         return result
 
     def map(self, jobs: Sequence[RunJob]) -> Dict[int, RunResult]:
@@ -150,6 +204,7 @@ class SweepExecutor:
         if not jobs:
             return results
         self._queued.inc(len(jobs))
+        self._beat(force=True)
         if self.jobs <= 1 or len(jobs) == 1:
             for index, job in enumerate(jobs):
                 self._attempt_inline(index, job, results)
@@ -173,7 +228,11 @@ class SweepExecutor:
         started = perf_counter()
         self._running.set(1)
         try:
-            result = execute_job(job)
+            if self.worker_metrics:
+                result, _wall, counters = execute_job_observed(job)
+                self._absorb_worker_counters(counters)
+            else:
+                result = execute_job(job)
         except Exception as exc:
             self._record_failure(job, repr(exc), 1, perf_counter() - started)
             return
@@ -182,7 +241,13 @@ class SweepExecutor:
         self._executed.inc()
         self._done.inc()
         self._wall.observe(perf_counter() - started)
+        self._beat()
         results[index] = result
+
+    def _absorb_worker_counters(self, counters: Dict[str, int]) -> None:
+        """Fold one job's worker-registry counters into the parent."""
+        self.registry.merge_counters(counters, prefix="workers.")
+        self._events.inc(counters.get("sim.events_processed", 0))
 
     def _map_once(
         self,
@@ -196,9 +261,12 @@ class SweepExecutor:
         retry: List[int] = []
         timed_out = False
         pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
+        entry = (
+            execute_job_observed if self.worker_metrics else execute_job_timed
+        )
         try:
             futures = {
-                index: pool.submit(execute_job_timed, jobs[index])
+                index: pool.submit(entry, jobs[index])
                 for index in pending
             }
             outstanding = len(futures)
@@ -207,7 +275,7 @@ class SweepExecutor:
                 job = jobs[index]
                 started = perf_counter()
                 try:
-                    result, wall = future.result(timeout=self.job_timeout)
+                    payload = future.result(timeout=self.job_timeout)
                 except FutureTimeout:
                     timed_out = True
                     future.cancel()
@@ -236,9 +304,15 @@ class SweepExecutor:
                         self._retried.inc()
                         retry.append(index)
                 else:
+                    if self.worker_metrics:
+                        result, wall, counters = payload
+                        self._absorb_worker_counters(counters)
+                    else:
+                        result, wall = payload
                     self._executed.inc()
                     self._done.inc()
                     self._wall.observe(wall)
+                    self._beat()
                     results[index] = result
                 outstanding -= 1
                 self._running.set(outstanding)

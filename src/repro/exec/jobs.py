@@ -173,6 +173,44 @@ def execute_job_timed(job: RunJob) -> Tuple[RunResult, float]:
     return result, perf_counter() - started
 
 
+def execute_job_observed(
+    job: RunJob,
+) -> Tuple[RunResult, float, Dict[str, int]]:
+    """Pool entry point that also ships the worker's metrics home.
+
+    Runs the job under a metrics-enabled :class:`~repro.obs.Observability`
+    and returns ``(result, wall_seconds, counters)`` where ``counters`` is
+    the integer slice of the worker registry's flat export — the only part
+    that merges losslessly across processes (see
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge_counters`).  The
+    parent folds these into its own registry, so a parallel sweep ends
+    with the same sweep-wide totals a serial one accumulates in place.
+    """
+    from time import perf_counter
+
+    from repro.obs import Observability
+
+    obs = Observability(metrics=True)
+    kwargs = dict(job.run_kwargs)
+    kwargs["obs"] = obs
+    started = perf_counter()
+    result = run_benchmark(
+        capacity_scaled(job.config, job.scale),
+        job.workload,
+        scale=job.scale,
+        seed=job.seed,
+        policy=revive_policy(job),
+        **kwargs,
+    )
+    wall = perf_counter() - started
+    counters = {
+        name: value
+        for name, value in obs.registry.flat().items()
+        if isinstance(value, int)
+    }
+    return result, wall, counters
+
+
 @dataclass
 class JobFailure:
     """Structured record of a job that could not produce a result."""

@@ -87,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the sweep metrics snapshot (queued/done/failed/"
              "cache-hit counters, wall-clock histogram) as JSON",
     )
+    execution.add_argument(
+        "--progress",
+        default=None,
+        metavar="PATH",
+        help="write a live JSONL heartbeat (jobs done/failed/retried, "
+             "events/sec, ETA) to PATH; tail -f it while the sweep runs",
+    )
+    execution.add_argument(
+        "--worker-metrics",
+        action="store_true",
+        help="run pool jobs metrics-enabled and merge each worker's "
+             "counters back into the sweep registry (workers.* namespace; "
+             "also feeds the heartbeat's events/sec)",
+    )
     grid = parser.add_argument_group("sweep grid (sweep verb only)")
     grid.add_argument(
         "--schemes",
@@ -121,6 +135,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         jobs=args.jobs if args.jobs is not None else default_jobs(),
         cache_dir=args.cache_dir,
         job_timeout=args.job_timeout,
+        worker_metrics=args.worker_metrics,
+        heartbeat=args.progress,
     )
     cache = RunCache(executor=executor)
     sink = open(args.output, "a") if args.output else None
@@ -149,6 +165,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         if sink is not None:
             sink.close()
+        executor.finish_heartbeat()
         if args.metrics_out:
             with open(args.metrics_out, "w", encoding="utf-8") as handle:
                 json.dump(executor.snapshot(), handle, indent=2, sort_keys=True)

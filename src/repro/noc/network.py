@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from time import perf_counter  # lint: allow-wallclock (phase attribution only)
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeadDestinationError, RoutingError
@@ -10,6 +11,7 @@ from repro.noc.messages import Message, MessageKind
 from repro.noc.routing import route_links
 from repro.noc.topology import MeshTopology
 from repro.obs import NULL_OBS
+from repro.obs.phases import PHASE_NOC
 from repro.sim.component import Component
 from repro.sim.engine import Simulator
 from repro.units import bytes_per_cycle
@@ -48,6 +50,9 @@ class MeshNetwork(Component):
         super().__init__(sim, "mesh")
         self.obs = obs if obs is not None else NULL_OBS
         self._tracer = self.obs.tracer if self.obs.tracer.enabled else None
+        #: Optional :class:`repro.obs.phases.PhaseAccumulator`; books the
+        #: host cost of route + serialisation under ``noc.send``.
+        self._phases = getattr(self.obs, "phases", None)
         sanitizer = getattr(sim, "sanitizer", None)
         #: Byte-conservation shadow ledger, armed by ``sanitize=True`` runs.
         self._conservation = (
@@ -134,6 +139,14 @@ class MeshNetwork(Component):
         :class:`DeadDestinationError` for a fault-disabled tile) instead
         of scheduling an event that would silently hang the run.
         """
+        if self._phases is not None:
+            start = perf_counter()
+            arrival = self._send(message, on_deliver)
+            self._phases.add(PHASE_NOC, perf_counter() - start)
+            return arrival
+        return self._send(message, on_deliver)
+
+    def _send(self, message: Message, on_deliver: DeliveryFn = None) -> int:
         self._validate_endpoints(message)
         faults = self._faults
         dead_letter = (

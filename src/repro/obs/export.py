@@ -97,16 +97,40 @@ def chrome_trace_events(
     events = _events_of(source)
     tracks = sorted({event.track for event in events})
     tids = {track: index for index, track in enumerate(tracks)}
+    # Process metadata first, then one thread_name + thread_sort_index
+    # pair per track: Perfetto groups and labels the rows, and the sort
+    # index pins the deterministic track order in the UI.
     out: List[Dict[str, object]] = [
         {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "hdpat-sim"},
+        },
+        {
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "name": "process_sort_index",
+            "args": {"sort_index": 0},
+        },
+    ]
+    for track in tracks:
+        out.append({
             "ph": "M",
             "pid": 0,
             "tid": tids[track],
             "name": "thread_name",
             "args": {"name": track},
-        }
-        for track in tracks
-    ]
+        })
+        out.append({
+            "ph": "M",
+            "pid": 0,
+            "tid": tids[track],
+            "name": "thread_sort_index",
+            "args": {"sort_index": tids[track]},
+        })
     for event in events:
         record: Dict[str, object] = {
             "ph": event.ph,

@@ -206,6 +206,24 @@ class MetricsRegistry:
         for key in sorted(stats):
             self.counter(f"{prefix}.{key}").inc(stats[key])
 
+    def merge_counters(
+        self, counters: Dict[str, int], prefix: str = ""
+    ) -> None:
+        """Fold another registry's integer counters into this one.
+
+        This is how worker-process metrics come home after a parallel
+        sweep: each worker exports ``{name: int}`` (the counter slice of
+        :meth:`flat`), and the parent sums them here — counters are the
+        only metric kind that merges losslessly across processes, which
+        is why gauges and histograms never ride along.  ``prefix``
+        namespaces the merged names (e.g. ``"workers."``) so sweep-wide
+        totals can't collide with the parent's own live metrics.
+        """
+        if not self.enabled:
+            return
+        for name in sorted(counters):
+            self.counter(f"{prefix}{name}").inc(counters[name])
+
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------

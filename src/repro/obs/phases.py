@@ -1,0 +1,125 @@
+"""Per-subsystem wall-time attribution: the "where did the seconds go" layer.
+
+A :class:`PhaseAccumulator` is the counter-based sibling of the span-based
+:class:`~repro.obs.profile.HostProfiler`: instrumented subsystems add
+``perf_counter`` deltas to a named bucket (two clock reads and one dict
+update per instrumentation point — no event objects, no per-call records),
+so it is cheap enough to leave on for whole benchmark runs.  The engine
+times every dispatched callback under :data:`PHASE_ENGINE`; the leaf
+subsystems (TLB hierarchy, NoC serialisation, IOMMU walks, migration,
+fault machinery, sanitizers) time their own hot entry points, and
+:meth:`PhaseAccumulator.report` subtracts the leaves from the engine total
+so the residual ("everything else the callbacks did") is explicit instead
+of silently smeared.
+
+Wall-clock numbers never enter trace payloads or :meth:`RunResult.to_dict`
+— they live in ``RunResult.extras["phase_profile"]`` only, keeping
+determinism digests byte-identical to uninstrumented runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Engine dispatch: the full event loop (pop + callback).  Every other
+#: phase below is a *subset* of this time; the report's ``engine.other``
+#: row is the engine total minus the sum of the leaves.
+PHASE_ENGINE = "engine.dispatch"
+#: Leaf phases — approximately disjoint slices of the engine total.  A
+#: leaf can nest inside another (``noc.send`` fires within ``iommu.walk``
+#: when the walker answers a request; fault verdicts run inside NoC
+#: sends), so the leaf sum can exceed the engine total in fault-heavy
+#: runs; the report clamps the residual at zero rather than hiding rows.
+PHASE_TLB = "tlb.hierarchy"
+PHASE_NOC = "noc.send"
+PHASE_IOMMU = "iommu.walk"
+PHASE_MIGRATION = "migration"
+PHASE_FAULTS = "faults.state"
+PHASE_RECOVERY = "faults.recovery"
+PHASE_SANITIZE = "sanitize"
+#: Synthetic report row: engine time not claimed by any leaf phase.
+PHASE_OTHER = "engine.other"
+
+_LEAF_PHASES = (
+    PHASE_TLB,
+    PHASE_NOC,
+    PHASE_IOMMU,
+    PHASE_MIGRATION,
+    PHASE_FAULTS,
+    PHASE_RECOVERY,
+    PHASE_SANITIZE,
+)
+
+
+class PhaseAccumulator:
+    """Accumulates wall-clock seconds per named simulator phase.
+
+    ``add`` is the only hot-path method; everything else is reporting.
+    Instrumentation sites hold the accumulator in a local, read the clock
+    before and after the work, and call ``add(phase, elapsed)``.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, phase: str, elapsed: float) -> None:
+        self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Engine-dispatch wall time (the loop total, not the leaf sum)."""
+        return self.seconds.get(PHASE_ENGINE, 0.0)
+
+    def attributed_seconds(self) -> float:
+        """Seconds claimed by leaf phases (subsets of the engine total)."""
+        return sum(self.seconds.get(phase, 0.0) for phase in _LEAF_PHASES)
+
+    def report(self) -> List[Dict[str, object]]:
+        """Rows: engine total, each recorded leaf, and the residual.
+
+        Each row carries ``phase`` / ``calls`` / ``seconds`` / ``share``
+        (fraction of the engine total; 0 when the engine was not timed,
+        e.g. a micro-benchmark that only exercised one subsystem).
+        """
+        total = self.total_seconds
+        rows: List[Dict[str, object]] = []
+
+        def _row(phase: str, seconds: float, calls: int) -> None:
+            rows.append({
+                "phase": phase,
+                "calls": calls,
+                "seconds": seconds,
+                "share": (seconds / total) if total > 0 else 0.0,
+            })
+
+        if PHASE_ENGINE in self.seconds:
+            _row(PHASE_ENGINE, self.seconds[PHASE_ENGINE],
+                 self.calls[PHASE_ENGINE])
+        for phase in _LEAF_PHASES:
+            if phase in self.seconds:
+                _row(phase, self.seconds[phase], self.calls[phase])
+        # Anything recorded under a non-standard name still shows up.
+        known = {PHASE_ENGINE, *_LEAF_PHASES}
+        for phase in sorted(set(self.seconds) - known):
+            _row(phase, self.seconds[phase], self.calls[phase])
+        if total > 0:
+            residual = max(0.0, total - self.attributed_seconds())
+            _row(PHASE_OTHER, residual, 0)
+        return rows
+
+    def snapshot(self) -> Dict[str, float]:
+        """``{phase: seconds}`` for JSON export (BENCH records)."""
+        out = {phase: self.seconds[phase] for phase in sorted(self.seconds)}
+        if PHASE_ENGINE in self.seconds:
+            out[PHASE_OTHER] = max(
+                0.0, self.total_seconds - self.attributed_seconds()
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseAccumulator({len(self.seconds)} phases, " \
+               f"{self.total_seconds:.3f}s engine)"

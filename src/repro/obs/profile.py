@@ -89,6 +89,7 @@ def summarize(result, obs=None, top_k: int = 10) -> str:
     lines += _latency_section(result, obs, top_k)
     lines += _link_section(result, top_k)
     lines += _queue_depth_section(obs)
+    lines += _phase_section(result)
     lines += _host_profile_section(result, top_k)
     return "\n".join(lines)
 
@@ -166,6 +167,26 @@ def _queue_depth_section(obs) -> List[str]:
         lines.append(
             f"    {gauge.name:<28} peak={peak:<6g} mean={mean:<8.2f} "
             f"|{_sparkline(gauge.values)}|"
+        )
+    return lines
+
+
+def _phase_section(result) -> List[str]:
+    """Per-subsystem wall-time attribution ("where did the seconds go").
+
+    Rendered from ``extras["phase_report"]`` (a phases-enabled run);
+    sanitizer and fault-machinery overhead appear as their own rows
+    rather than being smeared across the subsystems that triggered them.
+    """
+    rows = result.extras.get("phase_report")
+    if not rows:
+        return []
+    lines = ["-- wall-time attribution (per subsystem) --"]
+    for row in rows:
+        calls = f"calls={row['calls']:<9,}" if row["calls"] else " " * 15
+        lines.append(
+            f"    {row['phase']:<18} {calls} "
+            f"{row['seconds']:8.3f}s  {row['share']:6.1%} of dispatch"
         )
     return lines
 

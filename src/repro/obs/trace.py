@@ -25,7 +25,7 @@ ids and break trace determinism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -52,6 +52,10 @@ class Tracer:
         self.events: List[TraceEvent] = []
         self._span_alias: Dict[int, int] = {}
         self._stacks: Dict[str, List[str]] = {}
+        #: Aliased id -> (name, cat, track) for async spans begun but not
+        #: yet ended, so truncated runs can flush matching ``e`` events
+        #: (Perfetto rejects traces with unmatched ``b``/``e`` pairs).
+        self._open_async: Dict[int, Tuple[str, str, str]] = {}
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -90,6 +94,7 @@ class Tracer:
         self.events.clear()
         self._span_alias.clear()
         self._stacks.clear()
+        self._open_async.clear()
 
     # ------------------------------------------------------------------
     # Point and duration events
@@ -155,7 +160,10 @@ class Tracer:
         self, ts: int, name: str, cat: str, track: str, span_id: int,
         args: Optional[dict] = None,
     ) -> None:
+        if not self.enabled:
+            return
         self._record(ts, "b", name, cat, track, span_id=span_id, args=args)
+        self._open_async[self._span_alias[span_id]] = (name, cat, track)
 
     def async_instant(
         self, ts: int, name: str, cat: str, track: str, span_id: int,
@@ -167,7 +175,46 @@ class Tracer:
         self, ts: int, name: str, cat: str, track: str, span_id: int,
         args: Optional[dict] = None,
     ) -> None:
+        if not self.enabled:
+            return
         self._record(ts, "e", name, cat, track, span_id=span_id, args=args)
+        self._open_async.pop(self._span_alias[span_id], None)
+
+    def open_async_spans(self) -> List[int]:
+        """Aliased ids of async spans begun but not ended (sorted)."""
+        return sorted(self._open_async)
+
+    # ------------------------------------------------------------------
+    # Truncation flush
+    # ------------------------------------------------------------------
+    def flush_open(self, ts: int) -> int:
+        """Close every still-open span at cycle ``ts``; returns the count.
+
+        Called when a run is cut off at ``max_cycles``: pending events are
+        discarded, so spans they would have closed stay open and the
+        exported trace would carry unmatched ``B``/``E`` and ``b``/``e``
+        pairs.  Each flushed end event is tagged ``{"flushed": True}`` so
+        analysis can tell a truncation artifact from a real completion.
+        """
+        flushed = 0
+        if not self.enabled:
+            return flushed
+        args = {"flushed": True}
+        for track in sorted(self._stacks):
+            stack = self._stacks[track]
+            while stack:
+                name = stack.pop()
+                self._record(ts, "E", name, "span", track, args=args)
+                flushed += 1
+        # Bypass _record: these ids are already aliased.
+        for alias in sorted(self._open_async):
+            name, cat, track = self._open_async[alias]
+            self.events.append(
+                TraceEvent(int(ts), "e", name, cat, track, 0, alias, args)
+            )
+            flushed += 1
+        self._open_async.clear()
+        return flushed
 
     # ------------------------------------------------------------------
     # Analysis helpers

@@ -13,6 +13,7 @@ from time import perf_counter  # lint: allow-wallclock (host profiler only)
 from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.obs.phases import PHASE_ENGINE, PHASE_SANITIZE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizers import SanitizerContext
@@ -50,6 +51,11 @@ class Simulator:
         #: see :class:`repro.obs.profile.HostProfiler`).  When attached,
         #: :meth:`run` times every callback by its qualified name.
         self.profiler = profiler
+        #: Optional :class:`repro.obs.phases.PhaseAccumulator`.  When
+        #: attached, :meth:`run` books every dispatch (pop + callback)
+        #: under ``engine.dispatch``; subsystems slice their own phases
+        #: out of that total.
+        self.phases = None
         #: Runtime sanitizers (:class:`repro.analysis.SanitizerContext`).
         #: Components discover it via ``sim.sanitizer`` and register their
         #: invariants; None when sanitizing is off (the default).
@@ -71,7 +77,12 @@ class Simulator:
     def schedule_at(self, time: int, callback: Callback) -> None:
         """Schedule ``callback`` to fire at absolute cycle ``time``."""
         if self.sanitizer is not None:
-            self.sanitizer.event_order.on_schedule(time, self.now)
+            if self.profiler is not None or self.phases is not None:
+                start = perf_counter()
+                self.sanitizer.event_order.on_schedule(time, self.now)
+                self._record_sanitizer_overhead(perf_counter() - start)
+            else:
+                self.sanitizer.event_order.on_schedule(time, self.now)
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at cycle {time}, current cycle is {self.now}"
@@ -104,24 +115,48 @@ class Simulator:
         callback()
         return True
 
-    def _step_profiled(self) -> bool:
-        """:meth:`step` with per-callback wall-clock attribution."""
+    def _record_sanitizer_overhead(self, elapsed: float) -> None:
+        """Book sanitizer hook time as its own row / phase bucket.
+
+        Keeps ``--sanitize`` overhead visible instead of smeared across
+        the subsystems whose callbacks happen to trigger the hooks.
+        """
+        if self.profiler is not None:
+            self.profiler.record("sanitizer.event_order", elapsed)
+        if self.phases is not None:
+            self.phases.add(PHASE_SANITIZE, elapsed)
+
+    def _step_instrumented(self) -> bool:
+        """:meth:`step` with host wall-clock attribution.
+
+        Feeds the per-callback :attr:`profiler`, the per-subsystem
+        :attr:`phases` accumulator, or both — whichever is attached.  The
+        phase bucket ``engine.dispatch`` covers the full dispatch (pop,
+        sanitizer hook, callback); sanitizer time is additionally booked
+        under its own leaf bucket.
+        """
         if not self._queue:
             return False
+        dispatch_start = perf_counter()
         time, _seq, callback = heapq.heappop(self._queue)
         if self.sanitizer is not None:
+            hook_start = perf_counter()
             self.sanitizer.event_order.on_pop(time)
+            self._record_sanitizer_overhead(perf_counter() - hook_start)
         if self.max_cycles is not None and time > self.max_cycles:
             self._dropped_events += 1 + len(self._queue)
             self._queue.clear()
             return False
         self.now = time
         self._events_processed += 1
-        start = perf_counter()
+        callback_start = perf_counter()
         callback()
-        elapsed = perf_counter() - start
-        key = getattr(callback, "__qualname__", None) or type(callback).__name__
-        self.profiler.record(key, elapsed)
+        end = perf_counter()
+        if self.profiler is not None:
+            key = getattr(callback, "__qualname__", None) or type(callback).__name__
+            self.profiler.record(key, end - callback_start)
+        if self.phases is not None:
+            self.phases.add(PHASE_ENGINE, end - dispatch_start)
         return True
 
     def run(self) -> int:
@@ -130,8 +165,8 @@ class Simulator:
             raise SimulationError("simulator is already running")
         self._running = True
         try:
-            if self.profiler is not None:
-                while self._step_profiled():
+            if self.profiler is not None or self.phases is not None:
+                while self._step_instrumented():
                     pass
             else:
                 while self.step():
@@ -153,7 +188,11 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
-        step = self._step_profiled if self.profiler is not None else self.step
+        step = (
+            self._step_instrumented
+            if self.profiler is not None or self.phases is not None
+            else self.step
+        )
         try:
             while self._queue and self._queue[0][0] <= time:
                 step()

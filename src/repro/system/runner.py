@@ -111,6 +111,11 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         obs.registry.counter("warnings.truncated_events").inc(
             sim.dropped_events
         )
+        # The dropped events would have closed these spans; flush them so
+        # the exported trace stays loadable (matched B/E and b/e pairs).
+        flushed = obs.tracer.flush_open(sim.now)
+        if flushed:
+            obs.registry.counter("warnings.flushed_spans").inc(flushed)
         warnings.warn(
             f"{trace.name}: run truncated at max_cycles={sim.max_cycles}; "
             f"{sim.dropped_events} pending events dropped — aggregates "
@@ -135,8 +140,13 @@ def collect_result(wafer: WaferScaleGPU, trace, buffer_series=None) -> RunResult
         obs_extras["noc_links"] = wafer.network.link_report()
         if obs.profiler is not None:
             obs_extras["host_profile"] = obs.profiler.report()
+        if obs.phases is not None:
+            obs_extras["phase_profile"] = obs.phases.snapshot()
+            obs_extras["phase_report"] = obs.phases.report()
         if obs.tracer.enabled:
             obs_extras["trace_events"] = len(obs.tracer.events)
+        # Host-throughput denominator for events-per-second figures.
+        obs_extras["events_processed"] = sim.events_processed
     return RunResult(
         workload=trace.name,
         config_description=wafer.config.describe(),

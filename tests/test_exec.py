@@ -346,3 +346,124 @@ class TestCLI:
         assert "4 cells (0 failed)" in out
         snapshot = json.loads(metrics.read_text())
         assert snapshot["sweep"]["jobs"]["executed"] == 4
+
+
+# ----------------------------------------------------------------------
+# Worker metrics merge and the progress heartbeat
+# ----------------------------------------------------------------------
+class TestWorkerMetrics:
+    def test_execute_job_observed_matches_plain_execution(
+        self, small_system_config
+    ):
+        from repro.analysis.sanitizers import result_digest
+        from repro.exec import execute_job_observed
+
+        job = make_job(small_system_config, "aes", **FAST)
+        plain = execute_job(job)
+        observed, wall, counters = execute_job_observed(job)
+        assert result_digest(observed) == result_digest(plain)
+        assert wall > 0
+        assert counters["sim.events_processed"] > 0
+        assert all(isinstance(v, int) for v in counters.values())
+
+    def test_merge_counters_sums_and_prefixes(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.merge_counters({"sim.events_processed": 10}, prefix="workers.")
+        registry.merge_counters({"sim.events_processed": 5}, prefix="workers.")
+        assert registry.counter(
+            "workers.sim.events_processed"
+        ).to_value() == 15
+
+    def test_merge_counters_noop_when_disabled(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=False)
+        registry.merge_counters({"a": 1})
+        assert len(registry) == 0
+
+    def test_executor_absorbs_worker_counters_inline(
+        self, small_system_config
+    ):
+        executor = SweepExecutor(jobs=1, worker_metrics=True)
+        jobs = [
+            make_job(small_system_config, "aes", scale=0.02, seed=seed)
+            for seed in (1, 2)
+        ]
+        results = executor.map(jobs)
+        assert len(results) == 2
+        merged = executor.registry.counter("workers.sim.events_processed")
+        assert merged.to_value() > 0
+        assert executor.registry.counter(
+            "sweep.events_processed"
+        ).to_value() == merged.to_value()
+
+    def test_executor_absorbs_worker_counters_from_pool(
+        self, small_system_config
+    ):
+        executor = SweepExecutor(jobs=2, worker_metrics=True)
+        jobs = [
+            make_job(small_system_config, "aes", scale=0.02, seed=seed)
+            for seed in (1, 2)
+        ]
+        results = executor.map(jobs)
+        assert len(results) == 2
+        assert executor.registry.counter(
+            "workers.sim.events_processed"
+        ).to_value() > 0
+
+
+class TestHeartbeat:
+    def test_heartbeat_records_progress(self, small_system_config, tmp_path):
+        from repro.exec import read_heartbeats
+
+        path = str(tmp_path / "hb.jsonl")
+        executor = SweepExecutor(jobs=1, heartbeat=path, heartbeat_every=0.0)
+        jobs = [
+            make_job(small_system_config, "aes", scale=0.02, seed=seed)
+            for seed in (1, 2)
+        ]
+        executor.map(jobs)
+        executor.finish_heartbeat()
+        records = read_heartbeats(path)
+        assert records[0]["total"] == 2
+        final = records[-1]
+        assert final["phase"] == "finished"
+        assert final["done"] == 2 and final["failed"] == 0
+        assert final["jobs_per_sec"] > 0
+        assert final["eta_seconds"] is None
+
+    def test_heartbeat_throttles(self, tmp_path):
+        from repro.exec.progress import SweepHeartbeat
+
+        hb = SweepHeartbeat(str(tmp_path / "hb.jsonl"), every=3600.0)
+        assert hb.beat({"total": 1, "done": 0}) is True
+        assert hb.beat({"total": 1, "done": 1}) is False
+        assert hb.beat({"total": 1, "done": 1}, force=True) is True
+
+    def test_heartbeat_counts_events_with_worker_metrics(
+        self, small_system_config, tmp_path
+    ):
+        from repro.exec import read_heartbeats
+
+        path = str(tmp_path / "hb.jsonl")
+        executor = SweepExecutor(
+            jobs=1, worker_metrics=True,
+            heartbeat=path, heartbeat_every=0.0,
+        )
+        executor.map([make_job(small_system_config, "aes", **FAST)])
+        executor.finish_heartbeat()
+        assert read_heartbeats(path)[-1]["events_per_sec"] > 0
+
+    def test_progress_flag_writes_heartbeat(self, tmp_path, capsys):
+        from repro.exec import read_heartbeats
+
+        path = tmp_path / "hb.jsonl"
+        assert main([
+            "fig03", "--scale", "0.02", "--benchmarks", "aes",
+            "--jobs", "1", "--progress", str(path), "--worker-metrics",
+        ]) == 0
+        records = read_heartbeats(str(path))
+        assert records and records[-1]["phase"] == "finished"
+        assert records[-1]["done"] >= 1

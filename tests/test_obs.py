@@ -217,8 +217,13 @@ class TestExport:
         tracer = _sample_tracer()
         payload = json.loads(chrome_trace_json(tracer))
         events = payload["traceEvents"]
-        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
-        assert names == {"gpm0", "iommu", "depth"}
+        names = {
+            e["args"]["name"] for e in events
+            if e["ph"] == "M" and e["name"] in ("process_name", "thread_name")
+        }
+        assert names == {"hdpat-sim", "gpm0", "iommu", "depth"}
+        kinds = {e["name"] for e in events if e["ph"] == "M"}
+        assert "thread_sort_index" in kinds and "process_sort_index" in kinds
         complete = [e for e in events if e["ph"] == "X"]
         assert complete and complete[0]["dur"] == 90
         begun = [e for e in events if e["ph"] == "b"]
@@ -354,3 +359,103 @@ class TestPrefetchAccounting:
         raw = result.extras["prefetch_accuracy_raw"]
         assert raw == result.prefetch_accuracy_raw()
         assert result.prefetch_accuracy() == min(1.0, raw)
+
+
+# ----------------------------------------------------------------------
+# Phase attribution (per-subsystem wall-time)
+# ----------------------------------------------------------------------
+class TestPhaseAttribution:
+    def test_phase_profile_in_extras(self, small_system_config):
+        from repro.obs.phases import PHASE_ENGINE, PHASE_TLB
+
+        obs = Observability(phases=True)
+        result = run_benchmark(small_system_config, "fir", scale=0.02,
+                               seed=7, obs=obs)
+        profile = result.extras["phase_profile"]
+        assert profile[PHASE_ENGINE] > 0
+        assert PHASE_TLB in profile
+
+    def test_leaves_never_exceed_engine_total(self, small_system_config):
+        from repro.obs.phases import _LEAF_PHASES, PHASE_ENGINE
+
+        obs = Observability(phases=True)
+        result = run_benchmark(small_system_config, "fir", scale=0.02,
+                               seed=7, obs=obs)
+        profile = result.extras["phase_profile"]
+        leaf_sum = sum(profile.get(name, 0.0) for name in _LEAF_PHASES)
+        # Leaves nest occasionally (noc.send inside iommu.walk), so allow
+        # a generous factor rather than strict disjointness.
+        assert leaf_sum <= profile[PHASE_ENGINE] * 2.0
+
+    def test_instrumented_digest_matches_bare_run(self, small_system_config):
+        from repro.analysis.sanitizers import result_digest
+
+        bare = run_benchmark(small_system_config, "fir", scale=0.02, seed=7)
+        instrumented = run_benchmark(
+            small_system_config, "fir", scale=0.02, seed=7,
+            obs=Observability(phases=True, profile=True, metrics=True),
+        )
+        assert result_digest(bare) == result_digest(instrumented)
+
+    def test_summarize_includes_phase_section(self, small_system_config):
+        obs = Observability(phases=True)
+        result = run_benchmark(small_system_config, "fir", scale=0.02,
+                               seed=7, obs=obs)
+        report = summarize(result, obs=obs)
+        assert "wall-time attribution" in report
+        assert "engine.dispatch" in report
+
+    def test_sanitizer_overhead_surfaces_as_rows(self, small_system_config):
+        obs = Observability(phases=True, profile=True)
+        result = run_benchmark(small_system_config, "fir", scale=0.02,
+                               seed=7, obs=obs, sanitize=True)
+        assert "sanitize" in result.extras["phase_profile"]
+        callbacks = {row["callback"] for row in result.extras["host_profile"]}
+        assert "sanitizer.event_order" in callbacks
+
+    def test_report_accumulator_shape(self):
+        from repro.obs.phases import PHASE_ENGINE, PHASE_TLB, PhaseAccumulator
+
+        phases = PhaseAccumulator()
+        phases.add(PHASE_ENGINE, 1.0)
+        phases.add(PHASE_TLB, 0.25)
+        rows = phases.report()
+        by_name = {row["phase"]: row for row in rows}
+        assert by_name[PHASE_ENGINE]["share"] == 1.0
+        assert by_name[PHASE_TLB]["share"] == 0.25
+        assert by_name["engine.other"]["seconds"] == pytest.approx(0.75)
+
+
+# ----------------------------------------------------------------------
+# Truncated-trace flushing
+# ----------------------------------------------------------------------
+class TestFlushOpenSpans:
+    def test_truncated_trace_has_no_open_spans(self, small_system_config):
+        obs = Observability(trace=True, metrics=True)
+        with pytest.warns(TruncationWarning):
+            run_benchmark(small_system_config, "fir", scale=0.02,
+                          seed=7, max_cycles=500, obs=obs)
+        assert obs.tracer.open_async_spans() == []
+        begins = sum(1 for e in obs.tracer.events if e.ph in ("B", "b"))
+        ends = sum(1 for e in obs.tracer.events if e.ph in ("E", "e"))
+        assert begins == ends
+        flushed = obs.registry.get("warnings.flushed_spans")
+        assert flushed is not None and flushed.to_value() > 0
+
+    def test_flushed_chrome_trace_is_loadable_json(self, small_system_config):
+        obs = Observability(trace=True)
+        with pytest.warns(TruncationWarning):
+            run_benchmark(small_system_config, "fir", scale=0.02,
+                          seed=7, max_cycles=500, obs=obs)
+        payload = json.loads(chrome_trace_json(obs.tracer))
+        names = {e["name"] for e in payload["traceEvents"] if e["ph"] == "M"}
+        assert "process_name" in names and "thread_name" in names
+
+    def test_flush_marks_events(self):
+        tracer = Tracer(enabled=True)
+        tracer.begin_span(0, "outer", track="t")
+        tracer.async_begin(5, "rpc", "span", "t", span_id=123)
+        assert tracer.flush_open(10) == 2
+        assert tracer.flush_open(10) == 0
+        closing = [e for e in tracer.events if e.ph in ("E", "e")]
+        assert all(e.args == {"flushed": True} for e in closing)
