@@ -54,17 +54,38 @@ class EventOrderSanitizer:
         self.schedules_checked = 0
 
     def on_schedule(self, time: int, now: int) -> None:
-        """Called before every heap push."""
-        self.schedules_checked += 1
+        """Called before every queue insert.
+
+        Validates before counting: a rejected schedule must leave the
+        sanitizer's state untouched (the engine also validates first, so
+        a raise here is a second line of defence for direct callers).
+        """
         if time < now:
             raise EventOrderError(
                 f"event scheduled in the past: target cycle {time} < "
                 f"current cycle {now}"
             )
+        self.schedules_checked += 1
 
     def on_pop(self, time: int) -> None:
-        """Called after every heap pop, before the callback fires."""
+        """Called after every single-event pop, before the callback fires."""
         self.events_checked += 1
+        self._check_monotonic(time)
+
+    def on_batch_start(self, time: int) -> None:
+        """Called once before a cycle slot is dispatched.
+
+        All events in a batch share one timestamp, so one monotonicity
+        check covers them; :meth:`on_batch_end` keeps the checked-event
+        count identical to the per-event accounting.
+        """
+        self._check_monotonic(time)
+
+    def on_batch_end(self, count: int) -> None:
+        """Called once after a cycle slot drained ``count`` events."""
+        self.events_checked += count
+
+    def _check_monotonic(self, time: int) -> None:
         if time < self.last_popped:
             raise EventOrderError(
                 f"event heap lost monotonicity: popped cycle {time} after "

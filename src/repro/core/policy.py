@@ -354,14 +354,31 @@ class ClusterRotationPolicy(TranslationPolicy):
             )
             for index, ring in enumerate(self.layout.caching_rings)
         }
+        # holders_for runs once per remote translation; the ring->members
+        # GPM ids and per-requester probe rings are static, so resolve
+        # them once here instead of re-deriving tile objects per request.
+        self._ring_holder_ids: Dict[int, List[int]] = {
+            ring: [
+                wafer.gpm_id_at(tile.coordinate)
+                for tile in cluster_map.members
+            ]
+            for ring, cluster_map in self.cluster_maps.items()
+        }
+        self._probe_rings: Dict[Coordinate, List[int]] = {}
 
     def holders_for(self, requester: Coordinate, vpn: int) -> List[Tuple[int, int]]:
         """(ring, holder_gpm_id) per probe ring, innermost first."""
-        holders = []
-        for ring in self.layout.probe_rings_for(requester):
-            tile = self.cluster_maps[ring].holder_of(vpn)
-            holders.append((ring, self.wafer.gpm_id_at(tile.coordinate)))
-        return holders
+        rings = self._probe_rings.get(requester)
+        if rings is None:
+            rings = self._probe_rings[requester] = (
+                self.layout.probe_rings_for(requester)
+            )
+        cluster_maps = self.cluster_maps
+        holder_ids = self._ring_holder_ids
+        return [
+            (ring, holder_ids[ring][cluster_maps[ring].position_of(vpn)])
+            for ring in rings
+        ]
 
     def start_remote(self, gpm, pending) -> None:
         request = self.make_request(gpm, pending)
@@ -410,9 +427,9 @@ class ClusterRotationPolicy(TranslationPolicy):
         return [
             holder_id
             for holder_id in (
-                self.wafer.gpm_id_at(
-                    self.cluster_maps[ring].holder_of(vpn).coordinate
-                )
+                self._ring_holder_ids[ring][
+                    self.cluster_maps[ring].position_of(vpn)
+                ]
                 for ring in self.layout.caching_rings
             )
             if self.gpm_alive(holder_id)

@@ -11,12 +11,21 @@ width; deletion is exact for inserted items.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.errors import CapacityError
 from repro.filters.fingerprint import fingerprint_of, mix64
 
 _DEFAULT_MAX_KICKS = 500
+
+# splitmix64 constants, duplicated from repro.filters.fingerprint so the
+# hot ``contains`` probe can inline both mixes (bit-identical results —
+# tests/test_filters.py cross-checks against the helper functions).
+_MASK64 = (1 << 64) - 1
+_FP_SEED = 0xC2B2AE3D27D4EB4F
+_IDX_SEED = 0x9E3779B97F4A7C15
+_MIX_A = 0xBF58476D1CE4E5B9
+_MIX_B = 0x94D049BB133111EB
 
 
 class CuckooFilter:
@@ -33,6 +42,21 @@ class CuckooFilter:
     slots_per_bucket:
         Bucket associativity (4 is the standard design point).
     """
+
+    __slots__ = (
+        "num_buckets",
+        "fingerprint_bits",
+        "slots_per_bucket",
+        "max_kicks",
+        "_buckets",
+        "_rng",
+        "_index_mask",
+        "_fp_mask",
+        "_hash_cache",
+        "size",
+        "lookups",
+        "insert_failures",
+    )
 
     def __init__(
         self,
@@ -51,8 +75,18 @@ class CuckooFilter:
         self.fingerprint_bits = fingerprint_bits
         self.slots_per_bucket = slots_per_bucket
         self.max_kicks = max_kicks
-        self._buckets: List[List[int]] = [[] for _ in range(self.num_buckets)]
+        # Buckets materialise lazily: a wafer instantiates one filter per
+        # GPM and most buckets stay empty at benchmark scales, so the
+        # eager list-of-lists was a measurable slice of system setup.
+        self._buckets: Dict[int, List[int]] = {}
         self._rng = random.Random(seed)
+        self._index_mask = self.num_buckets - 1
+        self._fp_mask = (1 << fingerprint_bits) - 1
+        #: item -> (fingerprint, index1, index2).  These depend only on
+        #: the item and the filter geometry — never on filter contents —
+        #: so caching them is behaviour-neutral; repeated probes of hot
+        #: VPNs skip all three splitmix64 mixes.
+        self._hash_cache: Dict[int, Tuple[int, int, int]] = {}
         self.size = 0
         self.lookups = 0
         self.insert_failures = 0
@@ -66,6 +100,27 @@ class CuckooFilter:
     def _alt_index(self, index: int, fingerprint: int) -> int:
         return (index ^ mix64(fingerprint)) & (self.num_buckets - 1)
 
+    def _hash_parts(self, item: int) -> Tuple[int, int, int]:
+        """(fingerprint, index1, index2) for ``item``, via the cache.
+
+        Shared by insert/contains/delete so an item hashed once (usually
+        by the ``contains`` guard preceding an insert) never pays the
+        three splitmix64 mixes again.
+        """
+        cached = self._hash_cache.get(item)
+        if cached is None:
+            fingerprint = fingerprint_of(item, self.fingerprint_bits)
+            index1 = self._index1(item)
+            index2 = self._alt_index(index1, fingerprint)
+            cached = self._hash_cache[item] = (fingerprint, index1, index2)
+        return cached
+
+    def _bucket(self, index: int) -> List[int]:
+        bucket = self._buckets.get(index)
+        if bucket is None:
+            bucket = self._buckets[index] = []
+        return bucket
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
@@ -76,12 +131,11 @@ class CuckooFilter:
         supports multiplicity up to ``2 * slots_per_bucket``); callers in
         this package guard with ``contains`` to keep one copy per item.
         """
-        fingerprint = fingerprint_of(item, self.fingerprint_bits)
-        index1 = self._index1(item)
-        index2 = self._alt_index(index1, fingerprint)
+        fingerprint, index1, index2 = self._hash_parts(item)
         for index in (index1, index2):
-            if len(self._buckets[index]) < self.slots_per_bucket:
-                self._buckets[index].append(fingerprint)
+            bucket = self._bucket(index)
+            if len(bucket) < self.slots_per_bucket:
+                bucket.append(fingerprint)
                 self.size += 1
                 return True
         # Kick-out relocation.
@@ -91,31 +145,54 @@ class CuckooFilter:
             victim_slot = self._rng.randrange(len(bucket))
             fingerprint, bucket[victim_slot] = bucket[victim_slot], fingerprint
             index = self._alt_index(index, fingerprint)
-            if len(self._buckets[index]) < self.slots_per_bucket:
-                self._buckets[index].append(fingerprint)
+            bucket = self._bucket(index)
+            if len(bucket) < self.slots_per_bucket:
+                bucket.append(fingerprint)
                 self.size += 1
                 return True
         self.insert_failures += 1
         return False
 
     def contains(self, item: int) -> bool:
-        """Approximate membership: no false negatives, rare false positives."""
+        """Approximate membership: no false negatives, rare false positives.
+
+        The splitmix64 mixes are inlined — this is the hottest probe in
+        the translation path (one call per L2 TLB miss) and the inline
+        arithmetic is bit-identical to :func:`fingerprint_of` /
+        :meth:`_index1` / :meth:`_alt_index`.
+        """
         self.lookups += 1
-        fingerprint = fingerprint_of(item, self.fingerprint_bits)
-        index1 = self._index1(item)
-        if fingerprint in self._buckets[index1]:
+        cached = self._hash_cache.get(item)
+        if cached is None:
+            z = (item + _FP_SEED) & _MASK64
+            z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+            z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+            fingerprint = ((z ^ (z >> 31)) & self._fp_mask) or 1
+            z = (item + _IDX_SEED) & _MASK64
+            z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+            z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+            index_mask = self._index_mask
+            index1 = (z ^ (z >> 31)) & index_mask
+            z = (fingerprint + _IDX_SEED) & _MASK64
+            z = ((z ^ (z >> 30)) * _MIX_A) & _MASK64
+            z = ((z ^ (z >> 27)) * _MIX_B) & _MASK64
+            index2 = (index1 ^ z ^ (z >> 31)) & index_mask
+            self._hash_cache[item] = (fingerprint, index1, index2)
+        else:
+            fingerprint, index1, index2 = cached
+        buckets = self._buckets
+        bucket = buckets.get(index1)
+        if bucket is not None and fingerprint in bucket:
             return True
-        index2 = self._alt_index(index1, fingerprint)
-        return fingerprint in self._buckets[index2]
+        bucket = buckets.get(index2)
+        return bucket is not None and fingerprint in bucket
 
     def delete(self, item: int) -> bool:
         """Remove one copy of ``item``; returns False if absent."""
-        fingerprint = fingerprint_of(item, self.fingerprint_bits)
-        index1 = self._index1(item)
-        index2 = self._alt_index(index1, fingerprint)
+        fingerprint, index1, index2 = self._hash_parts(item)
         for index in (index1, index2):
-            bucket = self._buckets[index]
-            if fingerprint in bucket:
+            bucket = self._buckets.get(index)
+            if bucket is not None and fingerprint in bucket:
                 bucket.remove(fingerprint)
                 self.size -= 1
                 return True

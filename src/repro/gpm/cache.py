@@ -23,7 +23,10 @@ class DataCache:
         self.config = config
         self.num_sets = config.num_sets
         self.num_ways = config.num_ways
-        self._sets = [dict() for _ in range(self.num_sets)]
+        # Sets materialise lazily (index -> recency-ordered dict): one
+        # cache per GPM with tens of thousands of sets made the eager
+        # list-of-dicts a measurable slice of system construction time.
+        self._sets: dict = {}
         self.hits = 0
         self.misses = 0
 
@@ -34,7 +37,10 @@ class DataCache:
 
     def access(self, key: int) -> bool:
         """Look up a line, filling it on miss; returns True on hit."""
-        line_set = self._sets[key % self.num_sets]
+        index = key % self.num_sets
+        line_set = self._sets.get(index)
+        if line_set is None:
+            line_set = self._sets[index] = {}
         if key in line_set:
             del line_set[key]
             line_set[key] = True
@@ -48,7 +54,8 @@ class DataCache:
 
     def probe(self, key: int) -> bool:
         """Check residency without filling or LRU update."""
-        return key in self._sets[key % self.num_sets]
+        line_set = self._sets.get(key % self.num_sets)
+        return line_set is not None and key in line_set
 
     def hit_rate(self) -> float:
         total = self.hits + self.misses

@@ -59,7 +59,12 @@ class PendingTranslation:
 
 
 class GPM(Component):
-    """One GPU Processing Module on the wafer."""
+    """One GPU Processing Module on the wafer.
+
+    Deliberately *not* slotted: there is one GPM per tile (dozens, not
+    millions), and tests monkeypatch bound methods on instances (e.g.
+    ``remote_translation_complete``), which ``__slots__`` would forbid.
+    """
 
     def __init__(
         self,
@@ -83,6 +88,11 @@ class GPM(Component):
         self.coordinate = coordinate
         self.config = config
         self.address_space = address_space
+        # Hoisted page geometry: the access pipeline splits every vaddr
+        # and the method-call round trips through AddressSpace were a
+        # measurable slice of the per-access cost.
+        self._page_shift = address_space.page_shift
+        self._offset_mask = address_space.offset_mask
         self.network = network
         self.hierarchy = TranslationHierarchy(gpm_id, config)
         self.gmmu = WalkerPool(
@@ -192,7 +202,7 @@ class GPM(Component):
     # Access pipeline: translate, then touch data
     # ------------------------------------------------------------------
     def _begin_access(self, vaddr: int) -> None:
-        vpn = self.address_space.vpn_of(vaddr)
+        vpn = vaddr >> self._page_shift
         epoch = self._fail_epoch
         result = self.hierarchy.probe_local(vpn)
         if result.entry is not None:
@@ -404,7 +414,7 @@ class GPM(Component):
             # Local-hit continuation of an access the kill abandoned.
             self.bump("halted_drops")
             return
-        offset = self.address_space.offset_of(vaddr)
+        offset = vaddr & self._offset_mask
         owner_gpm = entry.owner_gpm
         if (
             self.faults is not None
@@ -473,7 +483,10 @@ class GPM(Component):
         self._complete_access()
 
     def _complete_access(self) -> None:
-        self.bump("accesses_completed")
+        # Inlined bump(): this runs once per access and the method-call
+        # overhead was visible in profiles.
+        stats = self.stats
+        stats["accesses_completed"] = stats.get("accesses_completed", 0) + 1
         self.driver.complete_one()
 
     # ------------------------------------------------------------------

@@ -308,9 +308,7 @@ class IOMMU(Component):
                 # The walker holds these PTEs in hand: answer PW-queue
                 # requests for them directly (same revisit pass as §IV-F).
                 prefetched_vpns = {n.vpn for n in neighbors}
-                caught = self.walkers.drain_matching(
-                    lambda r: r.vpn in prefetched_vpns
-                )
+                caught = self.walkers.drain_vpns(prefetched_vpns)
                 by_vpn = {n.vpn: n for n in neighbors}
                 for match in caught:
                     self.bump("prefetch_caught")
@@ -346,7 +344,7 @@ class IOMMU(Component):
         pre-queue buffer are not scanned, which is exactly why the paper
         says the PW-queue size bounds this mechanism's benefit (§V-B).
         """
-        matches = self.walkers.drain_matching(lambda r: r.vpn == vpn)
+        matches = self.walkers.drain_vpns((vpn,))
         for match in matches:
             self.bump("coalesced")
             self.served_window.record(self.sim.now)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class PageTableEntry:
     """One virtual-to-physical mapping."""
 
@@ -34,16 +34,21 @@ class PageTableEntry:
         return self.access_count
 
     def copy_for_push(self, prefetched: bool = False) -> "PageTableEntry":
-        """A copy suitable for installing in a peer cache."""
-        return PageTableEntry(
-            vpn=self.vpn,
-            pfn=self.pfn,
-            owner_gpm=self.owner_gpm,
-            readable=self.readable,
-            writable=self.writable,
-            access_count=self.access_count,
-            prefetched=prefetched,
-        )
+        """A copy suitable for installing in a peer cache.
+
+        Built via direct slot stores rather than the dataclass
+        ``__init__`` — pushes clone entries thousands of times per run
+        and the keyword-argument machinery was a measurable slice.
+        """
+        clone = object.__new__(PageTableEntry)
+        clone.vpn = self.vpn
+        clone.pfn = self.pfn
+        clone.owner_gpm = self.owner_gpm
+        clone.readable = self.readable
+        clone.writable = self.writable
+        clone.access_count = self.access_count
+        clone.prefetched = prefetched
+        return clone
 
 
 #: Saturation value for the in-PTE access counter (a handful of spare bits).

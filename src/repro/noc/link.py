@@ -4,8 +4,6 @@ from __future__ import annotations
 
 from typing import Tuple
 
-from repro.units import serialization_cycles
-
 Coordinate = Tuple[int, int]
 
 
@@ -29,8 +27,9 @@ class Link:
         "messages_carried",
         "total_wait_cycles",
         "busy_cycles",
-        "bandwidth_factor",
+        "_bandwidth_factor",
         "last_serialization",
+        "_ser_cache",
     )
 
     def __init__(
@@ -52,19 +51,47 @@ class Link:
         self.busy_cycles = 0
         #: Fail-slow multiplier on effective bandwidth; 1.0 = healthy.
         #: Serialisation time scales, the busy-until clock stays integer.
-        self.bandwidth_factor = 1.0
+        self._bandwidth_factor = 1.0
         #: Serialisation charged for the most recent transmit, so the
         #: conservation sanitizer can shadow busy_cycles exactly even
         #: when the factor changes between messages.
         self.last_serialization = 0
+        #: size_bytes -> serialisation cycles at the *current* bandwidth
+        #: factor.  Message sizes come from a small fixed table, so this
+        #: stays tiny; the ``bandwidth_factor`` setter clears it, keeping
+        #: fail-slow runs bit-identical to the uncached math.
+        self._ser_cache: dict = {}
+
+    @property
+    def bandwidth_factor(self) -> float:
+        return self._bandwidth_factor
+
+    @bandwidth_factor.setter
+    def bandwidth_factor(self, factor: float) -> None:
+        self._bandwidth_factor = factor
+        self._ser_cache.clear()
 
     def transmit(self, arrival: int, size_bytes: int, is_translation: bool) -> int:
-        """Account one message; returns its delivery time at ``dst``."""
-        start = max(arrival, self.busy_until)
-        self.total_wait_cycles += start - arrival
-        serialization = serialization_cycles(
-            size_bytes, self.bytes_per_cycle * self.bandwidth_factor
-        )
+        """Account one message; returns its delivery time at ``dst``.
+
+        The serialisation math inlines :func:`repro.units.serialization_cycles`
+        (bit-identical — tests cross-check): this is the hottest leaf of
+        ``noc.send`` and the call overhead was measurable.
+        """
+        start = self.busy_until
+        if arrival >= start:
+            start = arrival
+        else:
+            self.total_wait_cycles += start - arrival
+        serialization = self._ser_cache.get(size_bytes)
+        if serialization is None:
+            effective = self.bytes_per_cycle * self._bandwidth_factor
+            if effective <= 0:
+                raise ValueError("link bandwidth must be positive")
+            serialization = int(-(-size_bytes // effective))
+            if serialization < 1:
+                serialization = 1
+            self._ser_cache[size_bytes] = serialization
         self.last_serialization = serialization
         self.busy_until = start + serialization
         self.busy_cycles += serialization

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Optional, Tuple
 
 Coordinate = Tuple[int, int]
@@ -19,7 +18,15 @@ _message_ids = itertools.count()
 
 
 class MessageKind(enum.Enum):
-    """Categories of mesh traffic, used for traffic accounting."""
+    """Categories of mesh traffic, used for traffic accounting.
+
+    Members are singletons, so the C-level identity hash replaces Enum's
+    Python-level name hash — per-kind counter dicts are updated on every
+    send and the hash call showed up in profiles.  Equality is already
+    identity, so hash/eq consistency is unchanged.
+    """
+
+    __hash__ = object.__hash__
 
     TRANSLATION_REQ = "translation_req"
     TRANSLATION_RESP = "translation_resp"
@@ -59,21 +66,38 @@ TRANSLATION_KINDS = frozenset(
 )
 
 
-@dataclass
 class Message:
-    """One mesh packet."""
+    """One mesh packet.
 
-    kind: MessageKind
-    src: Coordinate
-    dst: Coordinate
-    payload: Any = None
-    size_bytes: Optional[int] = None
-    message_id: int = field(default_factory=lambda: next(_message_ids))
+    A plain ``__slots__`` class rather than a dataclass: one is built per
+    send, and the generated ``__init__``/``__post_init__`` pair showed up
+    in profiles.  Field order and defaults match the old dataclass.
+    """
 
-    def __post_init__(self) -> None:
-        if self.size_bytes is None:
-            self.size_bytes = MESSAGE_BYTES[self.kind]
+    __slots__ = ("kind", "src", "dst", "payload", "size_bytes", "message_id")
+
+    def __init__(
+        self,
+        kind: MessageKind,
+        src: Coordinate,
+        dst: Coordinate,
+        payload: Any = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size_bytes = MESSAGE_BYTES[kind] if size_bytes is None else size_bytes
+        self.message_id = next(_message_ids)
 
     @property
     def is_translation_traffic(self) -> bool:
         return self.kind in TRANSLATION_KINDS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message(kind={self.kind!r}, src={self.src!r}, dst={self.dst!r}, "
+            f"payload={self.payload!r}, size_bytes={self.size_bytes!r}, "
+            f"message_id={self.message_id!r})"
+        )

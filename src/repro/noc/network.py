@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
+from collections import defaultdict
 from time import perf_counter  # lint: allow-wallclock (phase attribution only)
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeadDestinationError, RoutingError
 from repro.noc.link import Link
-from repro.noc.messages import Message, MessageKind
+from repro.noc.messages import TRANSLATION_KINDS, Message, MessageKind
 from repro.noc.routing import route_links
 from repro.noc.topology import MeshTopology
 from repro.obs import NULL_OBS
@@ -38,6 +39,26 @@ class MeshNetwork(Component):
     congestion trend, and exact per-link traffic accounting.
     """
 
+    __slots__ = (
+        "obs",
+        "_tracer",
+        "_phases",
+        "_conservation",
+        "_faults",
+        "topology",
+        "_on_mesh",
+        "link_latency",
+        "link_bytes_per_cycle",
+        "_links",
+        "_route_cache",
+        "_handlers",
+        "messages_sent",
+        "messages_routed",
+        "total_hops",
+        "messages_by_kind",
+        "link_bytes_by_kind",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -62,9 +83,28 @@ class MeshNetwork(Component):
         #: no-fault fast path byte-identical to the pre-fault simulator.
         self._faults = faults
         self.topology = topology
+        #: All on-mesh coordinates — membership test replaces the per-send
+        #: range arithmetic in :meth:`_validate_endpoints`.
+        self._on_mesh = frozenset(
+            (x, y)
+            for x in range(topology.width)
+            for y in range(topology.height)
+        )
         self.link_latency = link_latency
         self.link_bytes_per_cycle = bytes_per_cycle(link_bandwidth_bytes_per_sec)
         self._links: Dict[Tuple[Coordinate, Coordinate], Link] = {}
+        #: No-fault route cache: (src, dst) -> (resolved [(hop_key, Link)],
+        #: links-only list for the unpacking-free transmit loop).  Safe
+        #: because topology and XY routes are static and fail-slow factors
+        #: mutate the cached Link objects in place; fault runs (detours,
+        #: dead links) bypass the cache entirely.
+        self._route_cache: Dict[
+            Tuple[Coordinate, Coordinate],
+            Tuple[
+                List[Tuple[Tuple[Coordinate, Coordinate], Link]],
+                List[Link],
+            ],
+        ] = {}
         self._handlers: Dict[Coordinate, DeliveryFn] = {}
         self.messages_sent = 0
         #: Messages that actually traversed links (src != dst).  Zero-hop
@@ -73,8 +113,10 @@ class MeshNetwork(Component):
         self.messages_routed = 0
         self.total_hops = 0
         # Per-kind accounting: messages and bytes x hops by MessageKind.
-        self.messages_by_kind: Dict[object, int] = {}
-        self.link_bytes_by_kind: Dict[object, int] = {}
+        # defaultdicts keep the per-send increments to one dict op; reads
+        # elsewhere all use ``.get`` so no spurious keys appear.
+        self.messages_by_kind: Dict[object, int] = defaultdict(int)
+        self.link_bytes_by_kind: Dict[object, int] = defaultdict(int)
 
     # ------------------------------------------------------------------
     # Wiring
@@ -106,14 +148,15 @@ class MeshNetwork(Component):
     # ------------------------------------------------------------------
     def _validate_endpoints(self, message: Message) -> None:
         """Typed errors for undeliverable sends, raised immediately."""
-        width, height = self.topology.width, self.topology.height
-        for what, (x, y) in (("source", message.src),
-                             ("destination", message.dst)):
-            if not (0 <= x < width and 0 <= y < height):
-                raise RoutingError(
-                    f"message {what} {(x, y)} outside "
-                    f"{width}x{height} mesh"
-                )
+        on_mesh = self._on_mesh
+        if message.src not in on_mesh or message.dst not in on_mesh:
+            width, height = self.topology.width, self.topology.height
+            what = "source" if message.src not in on_mesh else "destination"
+            coord = message.src if message.src not in on_mesh else message.dst
+            raise RoutingError(
+                f"message {what} {coord} outside "
+                f"{width}x{height} mesh"
+            )
         if (
             self._faults is not None
             and not self._faults.dynamic
@@ -147,27 +190,38 @@ class MeshNetwork(Component):
         return self._send(message, on_deliver)
 
     def _send(self, message: Message, on_deliver: DeliveryFn = None) -> int:
-        self._validate_endpoints(message)
+        src = message.src
+        dst = message.dst
         faults = self._faults
+        # Fast path skips _validate_endpoints entirely: with both
+        # endpoints on the mesh and no static fault plan, the method can
+        # only fall through.  (Dynamic plans do their dead-tile handling
+        # below as dead-letters, exactly as before.)
+        on_mesh = self._on_mesh
+        if (
+            src not in on_mesh
+            or dst not in on_mesh
+            or (faults is not None and not faults.dynamic)
+        ):
+            self._validate_endpoints(message)
         dead_letter = (
-            faults is not None
-            and faults.dynamic
-            and message.dst in faults.dead_tiles
+            faults is not None and faults.dynamic and dst in faults.dead_tiles
         )
-        handler = on_deliver or self._handlers.get(message.dst)
+        handler = on_deliver or self._handlers.get(dst)
         if handler is None and not dead_letter:
-            raise RoutingError(f"no handler attached at {message.dst}")
+            raise RoutingError(f"no handler attached at {dst}")
+        kind = message.kind
         self.messages_sent += 1
-        self.messages_by_kind[message.kind] = (
-            self.messages_by_kind.get(message.kind, 0) + 1
-        )
+        self.messages_by_kind[kind] += 1
         sent_at = self.sim.now
         arrival = sent_at
         hop_times = None
         verdict = None
-        if message.src != message.dst:
+        if src != dst:
+            size_bytes = message.size_bytes
+            is_translation = kind in TRANSLATION_KINDS
             if faults is not None:
-                links, extra_hops = faults.route(message.src, message.dst)
+                hops, extra_hops = faults.route(src, dst)
                 if extra_hops:
                     faults.bump("rerouted_messages")
                     faults.bump("rerouted_hops", extra_hops)
@@ -175,29 +229,43 @@ class MeshNetwork(Component):
                 # data plane's outstanding-access window has no retry
                 # protocol, while every translation message is covered by
                 # the requester-side timeout/retry machinery.
-                if message.is_translation_traffic and not dead_letter:
+                if is_translation and not dead_letter:
                     verdict = faults.transient_verdict()
+                route = [((a, b), self._link(a, b)) for a, b in hops]
+                links = None
             else:
-                links = route_links(message.src, message.dst)
+                route_key = (src, dst)
+                cached = self._route_cache.get(route_key)
+                if cached is None:
+                    route = [
+                        ((a, b), self._link(a, b))
+                        for a, b in route_links(src, dst)
+                    ]
+                    links = [link for _key, link in route]
+                    self._route_cache[route_key] = (route, links)
+                else:
+                    route, links = cached
+            num_hops = len(route)
             self.messages_routed += 1
-            self.total_hops += len(links)
-            self.link_bytes_by_kind[message.kind] = (
-                self.link_bytes_by_kind.get(message.kind, 0)
-                + message.size_bytes * len(links)
-            )
+            self.total_hops += num_hops
+            self.link_bytes_by_kind[kind] += size_bytes * num_hops
             if self._tracer is not None:
                 hop_times = []
-            for src, dst in links:
-                link = self._link(src, dst)
-                arrival = link.transmit(
-                    arrival, message.size_bytes, message.is_translation_traffic
-                )
-                if self._conservation is not None:
-                    self._conservation.on_hop(
-                        (src, dst), message.size_bytes, link.last_serialization
-                    )
-                if hop_times is not None:
-                    hop_times.append([list(src), list(dst), arrival])
+            conservation = self._conservation
+            if links is not None and conservation is None and hop_times is None:
+                for link in links:
+                    arrival = link.transmit(arrival, size_bytes, is_translation)
+            else:
+                for hop_key, link in route:
+                    arrival = link.transmit(arrival, size_bytes, is_translation)
+                    if conservation is not None:
+                        conservation.on_hop(
+                            hop_key, size_bytes, link.last_serialization
+                        )
+                    if hop_times is not None:
+                        hop_times.append(
+                            [list(hop_key[0]), list(hop_key[1]), arrival]
+                        )
         else:
             arrival += 1
         if verdict == "delay":

@@ -19,6 +19,7 @@ determinism digests byte-identical to uninstrumented runs.
 
 from __future__ import annotations
 
+from collections import defaultdict
 from typing import Dict, List
 
 #: Engine dispatch: the full event loop (pop + callback).  Every other
@@ -62,12 +63,25 @@ class PhaseAccumulator:
     __slots__ = ("seconds", "calls")
 
     def __init__(self) -> None:
-        self.seconds: Dict[str, float] = {}
-        self.calls: Dict[str, int] = {}
+        # defaultdicts keep ``add`` to two augmented dict stores — it is
+        # called on every instrumented entry point, millions of times per
+        # benchmark run.
+        self.seconds: Dict[str, float] = defaultdict(float)
+        self.calls: Dict[str, int] = defaultdict(int)
 
     def add(self, phase: str, elapsed: float) -> None:
-        self.seconds[phase] = self.seconds.get(phase, 0.0) + elapsed
-        self.calls[phase] = self.calls.get(phase, 0) + 1
+        self.seconds[phase] += elapsed
+        self.calls[phase] += 1
+
+    def add_batch(self, phase: str, elapsed: float, count: int) -> None:
+        """One timed span covering ``count`` units of work.
+
+        Used by the engine's batched dispatch so ``engine.dispatch``
+        keeps counting *events* while paying only one pair of clock
+        reads per cycle slot.
+        """
+        self.seconds[phase] += elapsed
+        self.calls[phase] += count
 
     @property
     def total_seconds(self) -> float:

@@ -15,7 +15,13 @@ class Component:
     plain counters.  Subclasses add structure-specific state; the base class
     only standardises naming and stat reporting so experiment harnesses can
     collect results uniformly.
+
+    The base declares ``__slots__`` so hot subclasses can opt into slotted
+    attribute storage by declaring their own; subclasses without
+    ``__slots__`` keep a ``__dict__`` as before.
     """
+
+    __slots__ = ("sim", "name", "stats")
 
     def __init__(self, sim: "Simulator", name: str) -> None:
         self.sim = sim

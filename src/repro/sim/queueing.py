@@ -7,6 +7,7 @@ table walkers (whose queueing delay dominates Figure 3).
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from typing import Any, Callable, Deque, List, Optional, Tuple
 
@@ -139,6 +140,12 @@ class WalkerPool(Component):
         self.service_cycles = service_cycles
         self.busy_walkers = 0
         self._queue: Deque[Tuple[Any, ServiceRecord, CompletionFn]] = deque()
+        #: VPN -> number of queued (not yet started) payloads carrying it.
+        #: Lets :meth:`drain_vpns` answer the common "nothing matches" case
+        #: with a dict probe instead of a full queue scan; payloads without
+        #: a ``vpn`` attribute (e.g. bare ints in GMMU pools) are not
+        #: indexed and must use :meth:`drain_matching` directly.
+        self._queued_vpn_counts: dict = {}
         self.total_queue_delay = 0
         self.total_service_time = 0
         self.completed = 0
@@ -149,9 +156,24 @@ class WalkerPool(Component):
         """Enqueue a walk request; returns its timing record."""
         record = ServiceRecord(self.sim.now)
         self._queue.append((payload, record, on_complete))
+        vpn = getattr(payload, "vpn", None)
+        if vpn is not None:
+            counts = self._queued_vpn_counts
+            counts[vpn] = counts.get(vpn, 0) + 1
         self.bump("submitted")
         self._dispatch()
         return record
+
+    def _unindex(self, payload: Any) -> None:
+        """Drop one queued-VPN count for a payload leaving the queue."""
+        vpn = getattr(payload, "vpn", None)
+        if vpn is not None:
+            counts = self._queued_vpn_counts
+            remaining = counts.get(vpn, 0) - 1
+            if remaining > 0:
+                counts[vpn] = remaining
+            else:
+                counts.pop(vpn, None)
 
     def queued_payloads(self) -> List[Any]:
         """Snapshot of payloads still waiting for a walker."""
@@ -164,22 +186,44 @@ class WalkerPool(Component):
         completes, identical pending requests are answered without their own
         walks.  Returns the removed payloads; their completion callbacks are
         NOT invoked — the caller answers them directly.
+
+        This runs on *every* walk completion and usually matches nothing,
+        so the replacement deque is only built once a match is found.
         """
-        kept: Deque[Tuple[Any, ServiceRecord, CompletionFn]] = deque()
+        queue = self._queue
+        kept: Optional[Deque[Tuple[Any, ServiceRecord, CompletionFn]]] = None
         removed: List[Any] = []
-        for entry in self._queue:
+        index = 0
+        for entry in queue:
             if predicate(entry[0]):
+                if kept is None:
+                    kept = deque(itertools.islice(queue, index))
                 removed.append(entry[0])
+                self._unindex(entry[0])
                 self.bump("coalesced")
-            else:
+            elif kept is not None:
                 kept.append(entry)
-        self._queue = kept
+            index += 1
+        if kept is not None:
+            self._queue = kept
         return removed
+
+    def drain_vpns(self, vpns) -> List[Any]:
+        """:meth:`drain_matching` for payloads whose ``vpn`` is in ``vpns``.
+
+        The queued-VPN index answers the usual no-match case without
+        touching the queue at all.
+        """
+        counts = self._queued_vpn_counts
+        if not any(vpn in counts for vpn in vpns):
+            return []
+        return self.drain_matching(lambda payload: payload.vpn in vpns)
 
     # ------------------------------------------------------------------
     def _dispatch(self) -> None:
         while self._queue and self.busy_walkers < self.num_walkers:
             payload, record, on_complete = self._queue.popleft()
+            self._unindex(payload)
             record.started_at = self.sim.now
             self.total_queue_delay += record.queue_delay
             self.busy_walkers += 1

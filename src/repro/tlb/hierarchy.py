@@ -37,7 +37,7 @@ class ProbeOutcome(enum.Enum):
     NEEDS_WALK = "needs_walk"  # filter positive, LLT miss -> GMMU walk
 
 
-@dataclass
+@dataclass(slots=True)
 class LocalProbeResult:
     """Outcome, accumulated latency, and the entry when one was found."""
 
@@ -52,6 +52,26 @@ class LocalProbeResult:
 
 class TranslationHierarchy:
     """All translation-side structures of one GPM."""
+
+    __slots__ = (
+        "gpm_id",
+        "config",
+        "l1_vector",
+        "l1_scalar",
+        "l1_inst",
+        "l2",
+        "llt",
+        "cuckoo",
+        "page_table",
+        "_l1_latency",
+        "_l2_latency",
+        "_cuckoo_latency",
+        "_llt_latency",
+        "false_positives",
+        "filter_negatives",
+        "remote_cached_vpns",
+        "phases",
+    )
 
     def __init__(self, gpm_id: int, config: GPMConfig) -> None:
         self.gpm_id = gpm_id
@@ -68,6 +88,12 @@ class TranslationHierarchy:
             seed=gpm_id + 1,
         )
         self.page_table = LocalPageTable(gpm_id)
+        # Per-structure latencies, hoisted out of the per-probe path
+        # (each was two attribute hops through the config dataclasses).
+        self._l1_latency = config.l1_vector_tlb.latency
+        self._l2_latency = config.l2_tlb.latency
+        self._cuckoo_latency = config.cuckoo_latency
+        self._llt_latency = config.gmmu_cache.latency
         self.false_positives = 0
         self.filter_negatives = 0
         self.remote_cached_vpns = 0
@@ -103,20 +129,20 @@ class TranslationHierarchy:
         return self._probe_local(vpn)
 
     def _probe_local(self, vpn: int) -> LocalProbeResult:
-        latency = self.config.l1_vector_tlb.latency
+        latency = self._l1_latency
         entry = self.l1_vector.lookup(vpn)
         if entry is not None:
             return LocalProbeResult(ProbeOutcome.L1_HIT, latency, entry)
-        latency += self.config.l2_tlb.latency
+        latency += self._l2_latency
         entry = self.l2.lookup(vpn)
         if entry is not None:
             self._fill_l1(vpn, entry)
             return LocalProbeResult(ProbeOutcome.L2_HIT, latency, entry)
-        latency += self.config.cuckoo_latency
+        latency += self._cuckoo_latency
         if not self.cuckoo.contains(vpn):
             self.filter_negatives += 1
             return LocalProbeResult(ProbeOutcome.FILTER_NEGATIVE, latency)
-        latency += self.config.gmmu_cache.latency
+        latency += self._llt_latency
         entry = self.llt.lookup(vpn)
         if entry is not None:
             self.fill_from_translation(vpn, entry)
@@ -141,10 +167,10 @@ class TranslationHierarchy:
         return self._probe_remote(vpn)
 
     def _probe_remote(self, vpn: int) -> LocalProbeResult:
-        latency = self.config.cuckoo_latency
+        latency = self._cuckoo_latency
         if not self.cuckoo.contains(vpn):
             return LocalProbeResult(ProbeOutcome.FILTER_NEGATIVE, latency)
-        latency += self.config.gmmu_cache.latency
+        latency += self._llt_latency
         entry = self.llt.lookup(vpn)
         if entry is not None:
             return LocalProbeResult(ProbeOutcome.LLT_HIT, latency, entry)

@@ -15,6 +15,15 @@ from typing import Dict, List
 class MSHRFile:
     """A bounded set of outstanding-miss registers keyed by VPN."""
 
+    __slots__ = (
+        "name",
+        "num_entries",
+        "_outstanding",
+        "allocations",
+        "merges",
+        "stalls",
+    )
+
     def __init__(self, name: str, num_entries: int) -> None:
         if num_entries <= 0:
             raise ValueError(f"{name}: MSHR count must be positive")

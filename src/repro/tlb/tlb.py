@@ -21,6 +21,18 @@ class SetAssociativeTLB:
     re-inserting on hit refreshes recency.
     """
 
+    __slots__ = (
+        "name",
+        "num_sets",
+        "num_ways",
+        "latency",
+        "mshrs",
+        "_sets",
+        "hits",
+        "misses",
+        "evictions",
+    )
+
     def __init__(
         self,
         name: str,
@@ -49,7 +61,7 @@ class SetAssociativeTLB:
 
     def lookup(self, vpn: int) -> Optional[Any]:
         """Return the payload for ``vpn`` (refreshing LRU) or None."""
-        entry_set = self._set_of(vpn)
+        entry_set = self._sets[vpn % self.num_sets]
         payload = entry_set.pop(vpn, None)
         if payload is None:
             self.misses += 1

@@ -22,11 +22,17 @@ def bytes_per_cycle(bandwidth_bytes_per_sec: float, clock_hz: int = CLOCK_HZ) ->
 
 
 def serialization_cycles(message_bytes: int, link_bytes_per_cycle: float) -> int:
-    """Cycles to push ``message_bytes`` through a link, at least one."""
+    """Cycles to push ``message_bytes`` through a link, at least one.
+
+    The divisor is kept fractional: a degraded link (bandwidth factor
+    below one) must serialise *slower* than the healthy rate even when
+    its effective bandwidth drops below 1 byte/cycle — truncating the
+    divisor to an int would silently floor it back to the healthy rate.
+    """
     if link_bytes_per_cycle <= 0:
         raise ValueError("link bandwidth must be positive")
-    cycles = -(-message_bytes // int(max(1, link_bytes_per_cycle)))  # ceil div
-    return max(1, cycles)
+    cycles = -(-message_bytes // link_bytes_per_cycle)  # ceil div
+    return max(1, int(cycles))
 
 
 def cycles_to_ms(cycles: int, clock_hz: int = CLOCK_HZ) -> float:

@@ -1,0 +1,220 @@
+"""Calendar-queue scheduler equivalence + hot-path timing bugfix tests.
+
+The calendar queue (rotating per-cycle FIFO slots over a heap overflow
+tier) must be observationally identical to the classic single binary
+heap keyed on ``(time, sequence)``.  The property suite drives both
+through the same randomly generated event programs — same-cycle ties,
+far-future events past the calendar window, ``max_cycles`` truncation,
+and mid-run ``schedule_at`` calls from inside callbacks — and demands
+identical firing logs.
+
+The regression half pins the timing-math bugfixes that rode along with
+the scheduler change: fractional-bandwidth serialisation ceiling,
+``schedule_at`` validating before the sanitizer hook mutates state, and
+``run_until`` quiescing sanitizers on a genuine drain.
+"""
+
+import heapq
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EventOrderError, SimulationError
+from repro.noc.link import Link
+from repro.sim.engine import SLOT_COUNT, Simulator
+from repro.units import serialization_cycles
+
+
+# ----------------------------------------------------------------------
+# Reference model: the classic single-heap scheduler
+# ----------------------------------------------------------------------
+class ReferenceHeapSimulator:
+    """The pre-calendar design: one heap, ``(time, sequence)`` order."""
+
+    def __init__(self, max_cycles=None):
+        self.now = 0
+        self.max_cycles = max_cycles
+        self.events_processed = 0
+        self.dropped_events = 0
+        self._queue = []
+        self._sequence = 0
+
+    def schedule(self, delay, callback):
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time, callback):
+        if time < self.now:
+            raise SimulationError("cannot schedule into the past")
+        heapq.heappush(self._queue, (int(time), self._sequence, callback))
+        self._sequence += 1
+
+    def run(self):
+        while self._queue:
+            time = self._queue[0][0]
+            if self.max_cycles is not None and time > self.max_cycles:
+                self.dropped_events = len(self._queue)
+                self._queue.clear()
+                break
+            _, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            self.events_processed += 1
+            callback()
+        return self.now
+
+
+def _run_program(sim, program):
+    """Feed a generated event program into ``sim``; return the firing log.
+
+    Each program entry is ``(delay, children)`` where children are
+    ``(delay, grandchildren)`` scheduled from inside the parent callback
+    via ``schedule_at`` — exercising mid-run scheduling into both the
+    calendar window and the overflow tier.
+    """
+    log = []
+
+    def fire(tag, children):
+        def _callback():
+            log.append((sim.now, tag))
+            for index, (delay, grandchildren) in enumerate(children):
+                sim.schedule_at(sim.now + delay, fire((tag, index), grandchildren))
+        return _callback
+
+    for index, (delay, children) in enumerate(program):
+        sim.schedule(delay, fire(index, children))
+    final = sim.run()
+    return log, final
+
+
+# Delays mixing same-cycle ties, in-window offsets, the exact window
+# boundary, and far-future overflow (> SLOT_COUNT cycles ahead).
+_DELAYS = st.one_of(
+    st.integers(0, 3),
+    st.integers(0, 60),
+    st.integers(SLOT_COUNT - 2, SLOT_COUNT + 2),
+    st.integers(SLOT_COUNT, 5 * SLOT_COUNT),
+)
+_GRANDCHILDREN = st.lists(st.tuples(_DELAYS, st.just(())), max_size=2)
+_CHILDREN = st.lists(st.tuples(_DELAYS, _GRANDCHILDREN), max_size=2)
+_PROGRAM = st.lists(st.tuples(_DELAYS, _CHILDREN), min_size=1, max_size=25)
+
+
+class TestCalendarMatchesReferenceHeap:
+    @given(_PROGRAM)
+    @settings(max_examples=60, deadline=None)
+    def test_same_firing_order_and_final_cycle(self, program):
+        ref_log, ref_final = _run_program(ReferenceHeapSimulator(), program)
+        cal_log, cal_final = _run_program(Simulator(), program)
+        assert cal_log == ref_log
+        assert cal_final == ref_final
+
+    @given(_PROGRAM)
+    @settings(max_examples=60, deadline=None)
+    def test_event_counts_match(self, program):
+        reference = ReferenceHeapSimulator()
+        simulator = Simulator()
+        _run_program(reference, program)
+        _run_program(simulator, program)
+        assert simulator.events_processed == reference.events_processed
+        assert simulator.pending_events == 0
+
+    @given(_PROGRAM, st.integers(0, 3 * SLOT_COUNT))
+    @settings(max_examples=60, deadline=None)
+    def test_max_cycles_truncation_matches(self, program, max_cycles):
+        reference = ReferenceHeapSimulator(max_cycles=max_cycles)
+        simulator = Simulator(max_cycles=max_cycles)
+        ref_log, _ = _run_program(reference, program)
+        cal_log, _ = _run_program(simulator, program)
+        assert cal_log == ref_log
+        assert simulator.events_processed == reference.events_processed
+        assert simulator.dropped_events == reference.dropped_events
+        assert simulator.pending_events == 0
+
+    def test_overflow_events_interleave_with_window_events(self):
+        """A far-future event and a later direct schedule into the same
+        cycle must fire in schedule order (overflow drains first)."""
+        sim = Simulator()
+        fired = []
+        target = 2 * SLOT_COUNT + 5
+        sim.schedule_at(target, lambda: fired.append("overflow-first"))
+        # Step the window forward, then schedule the same cycle directly.
+        sim.schedule(1, lambda: sim.schedule_at(target, lambda: fired.append("direct-second")))
+        sim.run()
+        assert fired == ["overflow-first", "direct-second"]
+
+
+# ----------------------------------------------------------------------
+# Bugfix regressions
+# ----------------------------------------------------------------------
+class TestFractionalBandwidthSerialization:
+    def test_sub_byte_per_cycle_bandwidth_ceils_up(self):
+        # A degraded divisor below 1 B/cycle must slow serialisation;
+        # truncating it to int would floor back to the healthy rate.
+        assert serialization_cycles(8, 0.5) == 16
+        assert serialization_cycles(1, 0.1) == 10
+
+    def test_fractional_bandwidth_above_one_still_ceils(self):
+        assert serialization_cycles(8, 0.9) == 9
+        assert serialization_cycles(10, 3.0) == 4
+
+    def test_degraded_one_byte_link_queues_slower(self):
+        healthy = Link((0, 0), (1, 0), latency=4, bytes_per_cycle=1.0)
+        degraded = Link((0, 0), (1, 0), latency=4, bytes_per_cycle=1.0)
+        degraded.bandwidth_factor = 1 / 16
+        healthy.transmit(0, 32, False)
+        degraded.transmit(0, 32, False)
+        assert healthy.last_serialization == 32
+        assert degraded.last_serialization == 512
+        # The second message queues behind the first: the fail-slow link
+        # delivers it measurably later than the healthy one.
+        assert degraded.transmit(0, 32, False) > healthy.transmit(0, 32, False)
+
+    def test_bandwidth_factor_change_invalidates_serialization_cache(self):
+        link = Link((0, 0), (1, 0), latency=1, bytes_per_cycle=2.0)
+        link.transmit(0, 64, False)
+        assert link.last_serialization == 32
+        link.bandwidth_factor = 0.5
+        link.transmit(1000, 64, False)
+        assert link.last_serialization == 64
+        link.bandwidth_factor = 1.0
+        link.transmit(2000, 64, False)
+        assert link.last_serialization == 32
+
+
+class TestScheduleAtValidatesBeforeSanitizerHook:
+    def test_rejected_schedule_leaves_sanitizer_state_untouched(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(5, lambda: None)
+        sim.run()
+        checked_before = sim.sanitizer.event_order.schedules_checked
+        with pytest.raises(EventOrderError):
+            sim.schedule_at(sim.now - 1, lambda: None)
+        assert sim.sanitizer.event_order.schedules_checked == checked_before
+
+    def test_unsanitized_past_schedule_still_raises(self):
+        sim = Simulator()
+        sim.schedule(5, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(sim.now - 1, lambda: None)
+
+
+class TestRunUntilQuiesce:
+    def test_genuine_drain_runs_quiesce_checks(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(3, lambda: None)
+        sim.run_until(10)
+        assert sim.sanitizer.quiesce_checks_run == 1
+
+    def test_no_quiesce_while_events_remain(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(3, lambda: None)
+        sim.schedule(50, lambda: None)
+        sim.run_until(10)
+        assert sim.sanitizer.quiesce_checks_run == 0
+
+    def test_run_matches_run_until_quiesce_behaviour(self):
+        sim = Simulator(sanitize=True)
+        sim.schedule(3, lambda: None)
+        sim.run()
+        assert sim.sanitizer.quiesce_checks_run == 1
