@@ -8,6 +8,7 @@ console script):
 - ``run``         a single benchmark run (``hdpat-run``)
 - ``experiments`` figure/table sweeps (``hdpat-experiments``)
 - ``lint``        the determinism lint (``python -m repro.analysis lint``)
+- ``races``       the static same-cycle race pass
 - ``sanitize``    a sanitized run (``python -m repro.analysis sanitize``)
 
 Everything after the verb is forwarded to the sub-CLI untouched, so
@@ -27,6 +28,7 @@ verbs:
   run          run one benchmark on one configuration
   experiments  run figure/table experiment sweeps
   lint         determinism lint over the source tree
+  races        static same-cycle race pass over the simulation trees
   sanitize     run a benchmark with runtime sanitizers armed
 
 ``python -m repro <verb> --help`` shows each verb's options.
@@ -48,7 +50,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     if verb in ("experiments", "sweep"):
         from repro.experiments.cli import main as experiments_main
         return experiments_main(rest)
-    if verb in ("lint", "sanitize"):
+    if verb in ("lint", "races", "sanitize"):
         from repro.analysis.cli import main as analysis_main
         return analysis_main([verb] + rest)
     print(f"python -m repro: unknown verb {verb!r}\n\n{_USAGE}",

@@ -10,10 +10,16 @@ bit-deterministic and conservation-correct, so both are machine-checked:
   cycle math, conformant metric names).
 * :mod:`repro.analysis.sanitizers` — runtime checks armed by
   ``Simulator(sanitize=True)`` / ``--sanitize``: event-order causality,
-  NoC byte conservation, buffer-leak detection at quiesce, and a
-  dual-run determinism digest.
+  NoC byte conservation, buffer-leak detection at quiesce, a dual-run
+  determinism digest, and (``sanitize="races"``) the dynamic same-cycle
+  race detector.
+* :mod:`repro.analysis.races` — the static half of the race detector: a
+  callback-registration graph over ``schedule``/``schedule_at`` sites
+  with per-callback read/write summaries, flagging statically-possible
+  same-cycle conflicts (RACE001 write-write, RACE002 read-write).
 
-CLI: ``python -m repro.analysis {lint,sanitize}``.  See docs/ANALYSIS.md.
+CLI: ``python -m repro.analysis {lint,races,sanitize}``.
+See docs/ANALYSIS.md.
 """
 
 from repro.analysis.lint import (
@@ -22,13 +28,23 @@ from repro.analysis.lint import (
     layer_of,
     lint_paths,
     lint_source,
+    statement_spans,
     summarize,
+    suppressions_at,
+    update_baseline_file,
+)
+from repro.analysis.races import (
+    RACE_RW,
+    RACE_WW,
+    analyze_paths,
+    analyze_source,
 )
 from repro.analysis.rules import ALL_RULES, Rule, rules_by_id
 from repro.analysis.sanitizers import (
     BufferLeakSanitizer,
     ConservationSanitizer,
     EventOrderSanitizer,
+    RaceSanitizer,
     SanitizerContext,
     check_determinism,
     result_digest,
@@ -41,13 +57,21 @@ __all__ = [
     "ConservationSanitizer",
     "EventOrderSanitizer",
     "Finding",
+    "RACE_RW",
+    "RACE_WW",
+    "RaceSanitizer",
     "Rule",
     "SanitizerContext",
+    "analyze_paths",
+    "analyze_source",
     "check_determinism",
     "layer_of",
     "lint_paths",
     "lint_source",
     "result_digest",
     "rules_by_id",
+    "statement_spans",
     "summarize",
+    "suppressions_at",
+    "update_baseline_file",
 ]

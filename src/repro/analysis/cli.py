@@ -1,18 +1,23 @@
-"""``python -m repro.analysis`` — lint and sanitize verbs.
+"""``python -m repro.analysis`` — lint, races, and sanitize verbs.
 
 ::
 
     python -m repro.analysis lint src/repro
     python -m repro.analysis lint --format json --baseline analysis-baseline.txt
-    python -m repro.analysis lint --write-baseline analysis-baseline.txt
+    python -m repro.analysis lint --update-baseline
+    python -m repro.analysis races --baseline analysis-races-baseline.txt
     python -m repro.analysis sanitize --workload fir --scale 0.05
-    python -m repro.analysis sanitize --skip-determinism --format json
+    python -m repro.analysis sanitize --races --skip-determinism
 
 ``lint`` exits non-zero when any error-severity finding survives pragmas
-and the baseline (``--strict`` also fails on warnings).  ``sanitize``
-builds a small preset, runs it with every runtime sanitizer armed, then
-dual-runs it to check the determinism contract; any
-:class:`~repro.errors.SanitizerError` exits non-zero.
+and the baseline (``--strict`` also fails on warnings);
+``--update-baseline`` atomically regenerates the baseline file from the
+current findings instead.  ``races`` runs the static same-cycle race
+pass (RACE001/RACE002) with the same baseline machinery.  ``sanitize``
+builds a small preset, runs it with every runtime sanitizer armed
+(``--races`` adds the dynamic race detector; ``--report`` collects race
+findings instead of raising), then dual-runs it to check the determinism
+contract; any :class:`~repro.errors.SanitizerError` exits non-zero.
 """
 
 from __future__ import annotations
@@ -22,10 +27,17 @@ import json
 import sys
 from typing import List, Optional
 
-from repro.analysis.lint import Baseline, lint_paths, summarize
+from repro.analysis.lint import (
+    Baseline,
+    lint_paths,
+    summarize,
+    update_baseline_file,
+)
 from repro.analysis.rules import ALL_RULES
 
 DEFAULT_LINT_PATHS = ["src/repro"]
+DEFAULT_LINT_BASELINE = "analysis-baseline.txt"
+DEFAULT_RACES_BASELINE = "analysis-races-baseline.txt"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +68,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--strict", action="store_true",
         help="warnings also fail the run (default: errors only)",
     )
+    lint.add_argument(
+        "--update-baseline", nargs="?", const=DEFAULT_LINT_BASELINE,
+        default=None, metavar="FILE", dest="update_baseline",
+        help="atomically regenerate FILE (default "
+             f"{DEFAULT_LINT_BASELINE}) from the current findings, in "
+             "sorted RULEID:path:line order, and exit 0",
+    )
+
+    races = verbs.add_parser(
+        "races", help="static same-cycle race pass (RACE001/RACE002)"
+    )
+    races.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to analyse (default: the deterministic "
+             "simulation trees; see repro.analysis.races)",
+    )
+    races.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="finding output format (default %(default)s)",
+    )
+    races.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppression file of reviewed, justified race findings",
+    )
+    races.add_argument(
+        "--update-baseline", nargs="?", const=DEFAULT_RACES_BASELINE,
+        default=None, metavar="FILE", dest="update_baseline",
+        help="atomically regenerate FILE (default "
+             f"{DEFAULT_RACES_BASELINE}) from the current findings, "
+             "preserving per-entry justification comments, and exit 0",
+    )
 
     sanitize = verbs.add_parser(
         "sanitize", help="run a small preset with runtime sanitizers armed"
@@ -67,6 +110,16 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument(
         "--hdpat", action="store_true",
         help="sanitize the full HDPAT configuration (default: baseline)",
+    )
+    sanitize.add_argument(
+        "--races", action="store_true",
+        help="also arm the dynamic same-cycle race detector "
+             "(OrderRaceError on the first unjustified conflict)",
+    )
+    sanitize.add_argument(
+        "--report", action="store_true",
+        help="with --races: collect race findings into the report "
+             "instead of raising on the first one",
     )
     sanitize.add_argument(
         "--skip-determinism", action="store_true",
@@ -83,6 +136,10 @@ def run_lint(args: argparse.Namespace) -> int:
     baseline = Baseline.load(args.baseline) if args.baseline else None
     findings, baselined = lint_paths(paths, baseline=baseline)
 
+    if args.update_baseline:
+        count = update_baseline_file(args.update_baseline, findings)
+        print(f"baseline: {count} entry(ies) -> {args.update_baseline}")
+        return 0
     if args.write_baseline:
         with open(args.write_baseline, "w", encoding="utf-8") as handle:
             handle.write(Baseline.render(findings))
@@ -108,6 +165,34 @@ def run_lint(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def run_races(args: argparse.Namespace) -> int:
+    # Imported lazily: the lint verb stays importable on its own.
+    from repro.analysis.races import DEFAULT_RACE_PATHS, analyze_paths
+
+    paths = args.paths or DEFAULT_RACE_PATHS
+    baseline = Baseline.load(args.baseline) if args.baseline else None
+    findings, baselined = analyze_paths(paths, baseline=baseline)
+
+    if args.update_baseline:
+        count = update_baseline_file(args.update_baseline, findings)
+        print(f"baseline: {count} entry(ies) -> {args.update_baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [finding.to_dict() for finding in findings],
+            "summary": summarize(findings),
+            "baselined": baselined,
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(f"{finding.path}:{finding.line}: "
+                  f"{finding.rule_id} {finding.message}")
+        print(f"hdpat-races: {len(findings)} finding(s)"
+              + (f", {baselined} baselined" if baselined else ""))
+    return 1 if findings else 0
+
+
 def run_sanitize(args: argparse.Namespace) -> int:
     # Imported lazily: the lint verb must work without building a system.
     from repro.analysis.sanitizers import check_determinism
@@ -130,12 +215,18 @@ def run_sanitize(args: argparse.Namespace) -> int:
         ),
         args.scale,
     )
+    sanitize_mode: object = True
+    if args.races:
+        sanitize_mode = "races:report" if args.report else "races"
+    elif args.report:
+        print("error: --report requires --races", file=sys.stderr)
+        return 2
     report = {"workload": args.workload, "scale": args.scale,
               "mesh": args.mesh, "seed": args.seed}
     try:
         result = run_benchmark(
             config, args.workload, scale=args.scale, seed=args.seed,
-            sanitize=True,
+            sanitize=sanitize_mode,
         )
         report["sanitizers"] = result.extras["sanitizers"]
         if not args.skip_determinism:
@@ -150,26 +241,43 @@ def run_sanitize(args: argparse.Namespace) -> int:
             print(f"SANITIZER VIOLATION [{type(exc).__name__}]: {exc}",
                   file=sys.stderr)
         return 1
+    races_report = report["sanitizers"].get("races") or {}
+    race_findings = races_report.get("findings") or []
     if args.format == "json":
         print(json.dumps(report, indent=2, sort_keys=True))
     else:
         sanitizers = report["sanitizers"]
+        status = (f"{len(race_findings)} race finding(s)"
+                  if race_findings else "clean")
         print(f"sanitize: {args.workload} scale={args.scale} mesh={args.mesh} "
-              f"— clean")
+              f"— {status}")
         print(f"  events checked:    {sanitizers['events_checked']:,}")
         print(f"  schedules checked: {sanitizers['schedules_checked']:,}")
         print(f"  buffers watched:   {sanitizers['buffers_watched']}")
         print(f"  messages delivered:{sanitizers['messages_delivered']:,}")
+        if races_report:
+            print(f"  races:             "
+                  f"{races_report['cycles_checked']:,} cycles, "
+                  f"{races_report['accesses_recorded']:,} accesses, "
+                  f"{races_report['benign_suppressed']} benign suppressed")
+            for race in race_findings:
+                first, second = race["events"]
+                print(f"    {race['kind']} {race['class']}"
+                      f"({race['object']}).{race['field']} @ cycle "
+                      f"{race['cycle']}: {first['callback']} vs "
+                      f"{second['callback']}")
         if "determinism_digest" in report:
             print(f"  determinism:       dual-run digest "
                   f"{report['determinism_digest'][:16]}... (match)")
-    return 0
+    return 1 if race_findings else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.verb == "lint":
         return run_lint(args)
+    if args.verb == "races":
+        return run_races(args)
     return run_sanitize(args)
 
 

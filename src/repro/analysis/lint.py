@@ -18,6 +18,7 @@ from __future__ import annotations
 import ast
 import os
 import re
+import tempfile
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.rules import (
@@ -69,6 +70,50 @@ def _pragma_suppressions(line: str) -> Tuple[Set[str], Set[str]]:
     return disabled, tags
 
 
+def statement_spans(tree: ast.AST) -> Dict[int, Tuple[int, int]]:
+    """Map each source line to its innermost statement's line range.
+
+    For simple statements the range is the whole statement (a call
+    spanning lines honours a pragma on any of them); for compound
+    statements (``if``/``for``/``def``...) only the *header* lines up to
+    the first body statement count, so a pragma inside a function does
+    not blanket the function.
+    """
+    spans: Dict[int, Tuple[int, int]] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body and isinstance(body[0], ast.stmt):
+            end = max(start, body[0].lineno - 1)
+        for line in range(start, end + 1):
+            previous = spans.get(line)
+            if previous is None or (end - start) < (previous[1] - previous[0]):
+                spans[line] = (start, end)
+    return spans
+
+
+def suppressions_at(
+    lines: Sequence[str],
+    spans: Dict[int, Tuple[int, int]],
+    line_no: int,
+) -> Tuple[Set[str], Set[str]]:
+    """Union of pragma suppressions over the statement containing ``line_no``."""
+    start, end = spans.get(line_no, (line_no, line_no))
+    disabled: Set[str] = set()
+    tags: Set[str] = set()
+    for pragma_line in range(start, end + 1):
+        if 0 < pragma_line <= len(lines):
+            line_disabled, line_tags = _pragma_suppressions(
+                lines[pragma_line - 1]
+            )
+            disabled |= line_disabled
+            tags |= line_tags
+    return disabled, tags
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
@@ -90,12 +135,12 @@ def lint_source(
             layer=resolved_layer,
         )]
     lines = source.splitlines()
+    spans = statement_spans(tree)
     findings: List[Finding] = []
     for rule in iter_rules(resolved_layer, rules):
         severity = rule.severity_for(resolved_layer)
         for line_no, col, message in rule.check(tree, resolved_layer):
-            source_line = lines[line_no - 1] if 0 < line_no <= len(lines) else ""
-            disabled, tags = _pragma_suppressions(source_line)
+            disabled, tags = suppressions_at(lines, spans, line_no)
             if "all" in disabled or rule.id in disabled:
                 continue
             if rule.pragma is not None and rule.pragma[len("allow-"):] in tags:
@@ -175,8 +220,11 @@ class Baseline:
             return baseline
         with open(path, "r", encoding="utf-8") as handle:
             for raw in handle:
-                line = raw.strip()
-                if line and not line.startswith("#"):
+                # Inline '# ...' justification comments are part of the
+                # baseline format (every grandfathered race entry carries
+                # one); strip them before parsing the entry itself.
+                line = raw.split("#", 1)[0].strip()
+                if line:
                     baseline.add_entry(line)
         return baseline
 
@@ -215,6 +263,65 @@ class Baseline:
         return "\n".join(lines) + "\n"
 
 
+def update_baseline_file(path: str, findings: Sequence[Finding]) -> int:
+    """Atomically regenerate a baseline file from ``findings``.
+
+    Entries are written in sorted ``RULEID:path:line`` order, one per
+    line.  The existing file's leading comment header is preserved (a
+    default header is written for a fresh file), as is any inline ``#``
+    justification comment attached to an entry that survives the
+    regeneration.  The file is replaced via ``os.replace`` on a temp
+    file in the same directory, so readers never observe a partial
+    baseline.  Returns the number of entries written.
+    """
+    entries = sorted({
+        f"{f.rule_id}:{Baseline._normalize(f.path)}:{f.line}"
+        for f in findings
+    })
+    header: List[str] = []
+    comments: Dict[str, str] = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            in_header = True
+            for raw in handle:
+                line = raw.rstrip("\n")
+                stripped = line.strip()
+                if in_header and (not stripped or stripped.startswith("#")):
+                    header.append(line)
+                    continue
+                in_header = False
+                if not stripped or stripped.startswith("#"):
+                    continue
+                entry, _, comment = stripped.partition("#")
+                if comment.strip():
+                    comments[entry.strip()] = comment.strip()
+    if not header:
+        header = [
+            "# hdpat-lint baseline: grandfathered findings, one per line as",
+            "# RULEID:path:line ('*' wildcards the line). Shrink, never grow.",
+        ]
+    body = [
+        f"{entry}  # {comments[entry]}" if entry in comments else entry
+        for entry in entries
+    ]
+    payload = "\n".join(header + body) + "\n"
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=".baseline-", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    return len(entries)
+
+
 def summarize(findings: Sequence[Finding]) -> Dict[str, int]:
     """Finding counts by rule id, plus error/warning totals."""
     summary: Dict[str, int] = {"errors": 0, "warnings": 0}
@@ -236,5 +343,8 @@ __all__ = [
     "layer_of",
     "lint_paths",
     "lint_source",
+    "statement_spans",
     "summarize",
+    "suppressions_at",
+    "update_baseline_file",
 ]

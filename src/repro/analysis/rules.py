@@ -21,7 +21,7 @@ from __future__ import annotations
 import ast
 import re
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Set, Tuple
 
 #: Layers whose code must be bit-deterministic.
 DETERMINISTIC_LAYERS = frozenset({
@@ -220,12 +220,35 @@ def _is_set_expression(node: ast.AST) -> bool:
     )
 
 
+def _scope_statements(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function scopes.
+
+    Assignments and iterations inside a nested ``def``/``lambda`` belong
+    to *that* scope's taint analysis, not the enclosing one.  Yields in
+    source order so taint can propagate through assignment chains.
+    """
+    stack = list(ast.iter_child_nodes(scope))[::-1]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        yield node
+        stack.extend(list(ast.iter_child_nodes(node))[::-1])
+
+
 class SetIterationRule(Rule):
-    """ORD001: no direct iteration over set expressions.
+    """ORD001: no iteration over set expressions or set-valued names.
 
     Set iteration order depends on insertion history and hash seeds; when
     the loop body schedules events or emits output, that order leaks into
-    results.  Wrap the set in ``sorted(...)`` to pin it.
+    results.  Beyond literal set expressions, a light per-scope taint
+    pass tracks names whose *every* assignment in the scope is set-valued
+    (``seen = set()``, ``keys = frozenset(...)``) and dicts built from
+    them via ``dict.fromkeys(tainted_set)``: iterating such a name (or
+    its ``.keys()``), and popping an *arbitrary* element with a zero-arg
+    ``.pop()``, leak the same unstable order.  Wrap the set in
+    ``sorted(...)`` to pin it.
     """
 
     id = "ORD001"
@@ -233,19 +256,122 @@ class SetIterationRule(Rule):
     warning_layers = WALLCLOCK_ALLOWED_LAYERS
 
     def check(self, tree: ast.AST, layer: str) -> Iterator[Tuple[int, int, str]]:
-        for node in ast.walk(tree):
+        scopes = [tree] + [
+            node for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for scope in scopes:
+            yield from self._check_scope(scope)
+
+    def _taints(self, scope: ast.AST) -> Tuple[Set[str], Set[str]]:
+        """Names provably set-valued / fromkeys-dict-valued in ``scope``.
+
+        Conservative in the safe direction: a single non-set rebinding
+        (including ``for`` targets and augmented assignment) clears the
+        taint, so only names that are sets on *every* path are flagged.
+        """
+        set_votes: dict = {}
+        dict_votes: dict = {}
+
+        def vote(table: dict, name: str, is_tainted: bool) -> None:
+            table[name] = table.get(name, True) and is_tainted
+
+        for node in _scope_statements(scope):
+            if isinstance(node, ast.Assign):
+                names = [t.id for t in node.targets
+                         if isinstance(t, ast.Name)]
+                if not names:
+                    continue
+                tainted_set = (
+                    _is_set_expression(node.value)
+                    or (isinstance(node.value, ast.Name)
+                        and set_votes.get(node.value.id) is True)
+                )
+                tainted_dict = self._is_fromkeys_of_set(node.value, set_votes)
+                for name in names:
+                    vote(set_votes, name, tainted_set)
+                    vote(dict_votes, name, tainted_dict)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                target = node.target
+                if isinstance(target, ast.Name):
+                    value = getattr(node, "value", None)
+                    vote(set_votes, target.id,
+                         value is not None and _is_set_expression(value))
+                    vote(dict_votes, target.id, False)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                for name in ast.walk(node.target):
+                    if isinstance(name, ast.Name):
+                        vote(set_votes, name.id, False)
+                        vote(dict_votes, name.id, False)
+        tainted_sets = {name for name, ok in set_votes.items() if ok}
+        tainted_dicts = {name for name, ok in dict_votes.items() if ok}
+        return tainted_sets, tainted_dicts
+
+    @staticmethod
+    def _is_fromkeys_of_set(node: ast.AST, set_votes: dict) -> bool:
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "fromkeys"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "dict"
+                and node.args):
+            return False
+        source = node.args[0]
+        return _is_set_expression(source) or (
+            isinstance(source, ast.Name)
+            and set_votes.get(source.id) is True
+        )
+
+    def _check_scope(self, scope: ast.AST) -> Iterator[Tuple[int, int, str]]:
+        tainted_sets, tainted_dicts = self._taints(scope)
+
+        def is_unordered(target: ast.AST) -> Optional[str]:
+            if _is_set_expression(target):
+                return ("iterating a set yields hash-dependent order; "
+                        "wrap it in sorted(...) before it can reach "
+                        "event scheduling or output")
+            if isinstance(target, ast.Name):
+                if target.id in tainted_sets:
+                    return (f"{target.id!r} is set-valued here; iterating "
+                            f"it yields hash-dependent order — wrap it in "
+                            f"sorted(...)")
+                if target.id in tainted_dicts:
+                    return (f"{target.id!r} was built with dict.fromkeys "
+                            f"over a set; its iteration order inherits the "
+                            f"set's hash order — sort the keys first")
+            if (isinstance(target, ast.Call)
+                    and isinstance(target.func, ast.Attribute)
+                    and target.func.attr == "keys"
+                    and not target.args
+                    and isinstance(target.func.value, ast.Name)
+                    and target.func.value.id in tainted_dicts):
+                return (f"{target.func.value.id}.keys() inherits set hash "
+                        f"order (the dict was built with dict.fromkeys "
+                        f"over a set) — sort the keys first")
+            return None
+
+        for node in _scope_statements(scope):
             targets = []
             if isinstance(node, (ast.For, ast.AsyncFor)):
                 targets.append(node.iter)
             elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
                                    ast.GeneratorExp)):
                 targets.extend(gen.iter for gen in node.generators)
+            elif (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "pop"
+                    and not node.args and not node.keywords
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in tainted_sets):
+                yield (node.lineno, node.col_offset,
+                       f"{node.func.value.id}.pop() removes a hash-ordered "
+                       f"arbitrary element from a set; pop from a sorted "
+                       f"list (or use an explicit ordering) instead")
+                continue
             for target in targets:
-                if _is_set_expression(target):
-                    yield (target.lineno, target.col_offset,
-                           "iterating a set yields hash-dependent order; "
-                           "wrap it in sorted(...) before it can reach "
-                           "event scheduling or output")
+                message = is_unordered(target)
+                if message is not None:
+                    yield (target.lineno, target.col_offset, message)
 
 
 _MUTABLE_CTORS = ("list", "dict", "set", "bytearray", "deque", "defaultdict")

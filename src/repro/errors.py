@@ -79,6 +79,15 @@ class BufferLeakError(SanitizerError):
     """A finite buffer still held items after the simulation quiesced."""
 
 
+class OrderRaceError(SanitizerError):
+    """Two same-cycle events conflicted on the same ``(object, field)``
+    with at least one write, and their relative order is fixed only by
+    the scheduler's insertion ``seq`` tie-break.  The run is still
+    deterministic today, but any alternative dispatch order (parallel
+    in-cycle execution, a different queue implementation) could silently
+    change the result.  The message carries both events' provenance."""
+
+
 class DeterminismError(SanitizerError):
     """Two runs of the same config + seed produced different result
     digests — the invariant the disk result cache depends on."""

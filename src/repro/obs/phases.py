@@ -38,6 +38,11 @@ PHASE_MIGRATION = "migration"
 PHASE_FAULTS = "faults.state"
 PHASE_RECOVERY = "faults.recovery"
 PHASE_SANITIZE = "sanitize"
+#: Race-sanitizer cycle-close analysis (``--sanitize races``).  Only the
+#: per-cycle conflict scan is timed here; the attribute-interception cost
+#: inside callbacks is inseparable from the intercepted subsystem and
+#: lands in that subsystem's own row.
+PHASE_RACES = "sanitize.races"
 #: Synthetic report row: engine time not claimed by any leaf phase.
 PHASE_OTHER = "engine.other"
 
@@ -49,6 +54,7 @@ _LEAF_PHASES = (
     PHASE_FAULTS,
     PHASE_RECOVERY,
     PHASE_SANITIZE,
+    PHASE_RACES,
 )
 
 

@@ -23,10 +23,10 @@ from __future__ import annotations
 import gc
 import heapq
 from time import perf_counter  # lint: allow-wallclock (host profiler only)
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
 from repro.errors import EventOrderError, SimulationError
-from repro.obs.phases import PHASE_ENGINE, PHASE_SANITIZE
+from repro.obs.phases import PHASE_ENGINE, PHASE_RACES, PHASE_SANITIZE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizers import SanitizerContext
@@ -74,7 +74,7 @@ class Simulator:
         self,
         max_cycles: Optional[int] = None,
         profiler=None,
-        sanitize: bool = False,
+        sanitize: Union[bool, str] = False,
     ) -> None:
         self.now: int = 0
         self.max_cycles = max_cycles
@@ -110,11 +110,25 @@ class Simulator:
         #: Runtime sanitizers (:class:`repro.analysis.SanitizerContext`).
         #: Components discover it via ``sim.sanitizer`` and register their
         #: invariants; None when sanitizing is off (the default).
+        #: ``sanitize="races"`` additionally arms the same-cycle race
+        #: detector for the duration of :meth:`run`; ``"races:report"``
+        #: collects race findings instead of raising on the first one.
         self.sanitizer: Optional["SanitizerContext"] = None
         if sanitize:
+            races: Optional[str] = None
+            if isinstance(sanitize, str):
+                if sanitize == "races":
+                    races = "raise"
+                elif sanitize == "races:report":
+                    races = "report"
+                else:
+                    raise SimulationError(
+                        f"unknown sanitize mode {sanitize!r}: expected "
+                        f"True, 'races' or 'races:report'"
+                    )
             from repro.analysis.sanitizers import SanitizerContext
 
-            self.sanitizer = SanitizerContext()
+            self.sanitizer = SanitizerContext(races=races)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -249,20 +263,48 @@ class Simulator:
         :attr:`dropped_events` so callers can tell a drained run from a
         truncated one (see :attr:`truncated`).
         """
+        sanitizer = self.sanitizer
+        races = sanitizer.races if sanitizer is not None else None
         time = self._advance()
         if time is None:
+            if races is not None and races.armed:
+                try:
+                    races.flush()
+                finally:
+                    races.disarm()
             return False
-        if self.sanitizer is not None:
-            self.sanitizer.event_order.on_pop(time)
+        if sanitizer is not None:
+            sanitizer.event_order.on_pop(time)
         if self.max_cycles is not None and time > self.max_cycles:
             self._truncate()
+            if races is not None and races.armed:
+                races.disarm()
             return False
         slot = self._slots[time & _SLOT_MASK]
         callback = slot.pop(0)
         self._ring_events -= 1
         self.now = time
         self._events_processed += 1
-        callback()
+        if races is None:
+            callback()
+            return True
+        # Step-driven race detection: arm lazily, let begin_cycle close
+        # (and analyze) the previous cycle when time advances, and rely
+        # on the queue-empty path above to flush the tail and disarm.
+        if not races.armed:
+            races.arm()
+        try:
+            races.begin_cycle(time)
+            races.begin_event(callback)
+            try:
+                callback()
+            finally:
+                races.end_event()
+        except BaseException:
+            # A race (or a dying callback) ends step-driven simulation;
+            # restore the patched classes before propagating.
+            races.disarm()
+            raise
         return True
 
     def _record_sanitizer_overhead(self, elapsed: float) -> None:
@@ -294,6 +336,7 @@ class Simulator:
                 return False
             slot = self._slots[time & _SLOT_MASK]
         sanitizer = self.sanitizer
+        races = sanitizer.races if sanitizer is not None else None
         if sanitizer is not None:
             sanitizer.event_order.on_batch_start(time)
         if self.max_cycles is not None and time > self.max_cycles:
@@ -301,22 +344,43 @@ class Simulator:
             return False
         self.now = time
         index = 0
+        if races is None:
+            try:
+                # Callbacks may append same-cycle events to this very slot;
+                # the list iterator re-checks bounds on every step, so they
+                # are picked up in schedule order.  The in-flight event is
+                # uncounted from pending_events *before* its callback runs,
+                # matching the old pop-then-dispatch view (self-rescheduling
+                # tickers probe it to decide termination).
+                for callback in slot:
+                    index += 1
+                    self._ring_events -= 1
+                    callback()
+            finally:
+                del slot[:index]
+                self._events_processed += index
+                if sanitizer is not None:
+                    sanitizer.event_order.on_batch_end(index)
+            return True
+        # Race-sanitized variant: one batch is one cycle, so the access
+        # log opens at batch start and is analyzed right after the batch.
+        races.begin_cycle(time)
         try:
-            # Callbacks may append same-cycle events to this very slot;
-            # the list iterator re-checks bounds on every step, so they
-            # are picked up in schedule order.  The in-flight event is
-            # uncounted from pending_events *before* its callback runs,
-            # matching the old pop-then-dispatch view (self-rescheduling
-            # tickers probe it to decide termination).
             for callback in slot:
                 index += 1
                 self._ring_events -= 1
-                callback()
+                races.begin_event(callback)
+                try:
+                    callback()
+                finally:
+                    races.end_event()
         finally:
             del slot[:index]
             self._events_processed += index
-            if sanitizer is not None:
-                sanitizer.event_order.on_batch_end(index)
+            sanitizer.event_order.on_batch_end(index)  # type: ignore[union-attr]
+        # Analyze outside the accounting finally: an OrderRaceError must
+        # never mask a genuine callback exception.
+        races.end_cycle()
         return True
 
     def _dispatch_batch_instrumented(self) -> bool:
@@ -338,6 +402,7 @@ class Simulator:
                 return False
             slot = self._slots[time & _SLOT_MASK]
         sanitizer = self.sanitizer
+        races = sanitizer.races if sanitizer is not None else None
         if sanitizer is not None:
             hook_start = perf_counter()
             sanitizer.event_order.on_batch_start(time)
@@ -348,8 +413,32 @@ class Simulator:
         self.now = time
         profiler = self.profiler
         index = 0
+        if races is not None:
+            races.begin_cycle(time)
         try:
-            if profiler is not None:
+            if races is not None:
+                for callback in slot:
+                    index += 1
+                    self._ring_events -= 1
+                    races.begin_event(callback)
+                    if profiler is not None:
+                        callback_start = perf_counter()
+                        try:
+                            callback()
+                        finally:
+                            races.end_event()
+                        elapsed = perf_counter() - callback_start
+                        key = (
+                            getattr(callback, "__qualname__", None)
+                            or type(callback).__name__
+                        )
+                        profiler.record(key, elapsed)
+                    else:
+                        try:
+                            callback()
+                        finally:
+                            races.end_event()
+            elif profiler is not None:
                 for callback in slot:
                     index += 1
                     self._ring_events -= 1
@@ -375,6 +464,19 @@ class Simulator:
                 self.phases.add_batch(
                     PHASE_ENGINE, perf_counter() - dispatch_start, index
                 )
+        if races is not None:
+            # Cycle-close conflict analysis gets its own attribution row.
+            # It runs outside the batch span, so its time is *added* to
+            # the engine total (count 0: no extra events) to keep the
+            # leaf-is-a-subset accounting that the residual row assumes.
+            analyze_start = perf_counter()
+            races.end_cycle()
+            elapsed = perf_counter() - analyze_start
+            if profiler is not None:
+                profiler.record("sanitizer.races", elapsed)
+            if self.phases is not None:
+                self.phases.add(PHASE_RACES, elapsed)
+                self.phases.add_batch(PHASE_ENGINE, elapsed, 0)
         return True
 
     def run(self) -> int:
@@ -390,18 +492,25 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        races = self.sanitizer.races if self.sanitizer is not None else None
         gc_was_enabled = gc.isenabled()
         if gc_was_enabled:
             gc.disable()
         try:
+            if races is not None:
+                races.arm()
             if self.profiler is not None or self.phases is not None:
                 while self._dispatch_batch_instrumented():
                     pass
             else:
                 while self._dispatch_batch():
                     pass
+            if races is not None:
+                races.flush()
         finally:
             self._running = False
+            if races is not None:
+                races.disarm()
             if gc_was_enabled:
                 gc.enable()
         # Quiesce checks only make sense for a drained (not truncated) run:
@@ -420,6 +529,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running")
         self._running = True
+        races = self.sanitizer.races if self.sanitizer is not None else None
         dispatch = (
             self._dispatch_batch_instrumented
             if self.profiler is not None or self.phases is not None
@@ -429,14 +539,20 @@ class Simulator:
         if gc_was_enabled:
             gc.disable()
         try:
+            if races is not None:
+                races.arm()
             while True:
                 next_time = self._advance()
                 if next_time is None or next_time > time:
                     break
                 dispatch()
             self.now = max(self.now, time)
+            if races is not None:
+                races.flush()
         finally:
             self._running = False
+            if races is not None:
+                races.disarm()
             if gc_was_enabled:
                 gc.enable()
         # A genuine drain (queue empty, nothing dropped) gets the same

@@ -79,9 +79,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="seed for the fault plan (default: --seed)",
     )
     parser.add_argument(
-        "--sanitize", action="store_true",
+        "--sanitize", nargs="?", const=True, default=False,
+        metavar="MODE",
         help="arm the runtime sanitizers (event order, NoC byte "
-             "conservation, buffer leaks); violations raise typed errors",
+             "conservation, buffer leaks); violations raise typed errors. "
+             "'--sanitize races' additionally arms the same-cycle race "
+             "detector (OrderRaceError on the first conflict); "
+             "'--sanitize races:report' collects race findings instead",
     )
     obs_group = parser.add_argument_group("observability")
     obs_group.add_argument(
@@ -131,6 +135,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.sample_period <= 0:
         print(f"error: --sample-period must be positive, "
               f"got {args.sample_period}", file=sys.stderr)
+        return 2
+    if args.sanitize not in (False, True, "races", "races:report"):
+        # Also catches a stray positional swallowed by the optional value.
+        print(f"error: --sanitize takes no value, 'races' or "
+              f"'races:report', got {args.sanitize!r}", file=sys.stderr)
         return 2
     if args.hdpat:
         hdpat = HDPATConfig.full()
@@ -217,11 +226,20 @@ def main(argv: Optional[List[str]] = None) -> int:
                   file=notice)
     if args.sanitize:
         sanitizers = result.extras.get("sanitizers", {})
-        print(f"sanitizers: clean "
+        races = sanitizers.get("races") or {}
+        status = "clean"
+        if races.get("findings"):
+            status = f"{len(races['findings'])} race finding(s)"
+        print(f"sanitizers: {status} "
               f"({sanitizers.get('events_checked', 0):,} events, "
               f"{sanitizers.get('buffers_watched', 0)} buffers, "
               f"{sanitizers.get('messages_delivered', 0):,} deliveries "
               f"checked)", file=notice)
+        if races:
+            print(f"races: {races.get('cycles_checked', 0):,} cycles, "
+                  f"{races.get('accesses_recorded', 0):,} accesses, "
+                  f"{races.get('benign_suppressed', 0)} benign suppressed",
+                  file=notice)
     if args.trace:
         count = write_trace(obs.tracer.events, args.trace)
         print(f"trace: {count} events -> {args.trace}", file=notice)

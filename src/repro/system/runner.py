@@ -32,7 +32,7 @@ def run_benchmark(
     sample_buffer_every: Optional[int] = None,
     max_cycles: Optional[int] = None,
     obs: Optional[Observability] = None,
-    sanitize: bool = False,
+    sanitize: Union[bool, str] = False,
 ) -> RunResult:
     """Run one benchmark on one configuration and return its results.
 
@@ -44,7 +44,8 @@ def run_benchmark(
     ``RunResult.extras["metrics"]``; ``sanitize`` arms the runtime
     sanitizers (event order, NoC conservation, buffer leaks — see
     docs/ANALYSIS.md), whose clean-run report lands in
-    ``RunResult.extras["sanitizers"]``.
+    ``RunResult.extras["sanitizers"]``.  ``sanitize="races"`` (or
+    ``"races:report"``) additionally arms the same-cycle race detector.
     """
     if isinstance(workload, str):
         workload = get_workload(workload)

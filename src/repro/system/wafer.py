@@ -8,7 +8,7 @@ load / run lifecycle the benchmark runner drives.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.config.system import SystemConfig
 from repro.core.layers import ConcentricLayout
@@ -35,7 +35,7 @@ class WaferScaleGPU:
         config: SystemConfig,
         policy: Optional[TranslationPolicy] = None,
         obs: Optional[Observability] = None,
-        sanitize: bool = False,
+        sanitize: Union[bool, str] = False,
     ) -> None:
         self.config = config
         self.obs = obs if obs is not None else NULL_OBS

@@ -1,0 +1,6 @@
+"""Seeded-defect fixtures for the analysis tooling tests.
+
+Modules here contain *deliberate* violations (e.g. the racy ticker pair
+in :mod:`tests.fixtures.racy_ticker`); they are imported by tests only
+and must never be linted as part of the shipped tree.
+"""

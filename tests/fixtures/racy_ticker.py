@@ -1,0 +1,40 @@
+"""A deliberately racy ticker pair — the race detector's seeded fixture.
+
+``RacyCounter`` schedules two callbacks into the *same* cycle that both
+write ``value`` and ``last_writer``: starting from 0, ``tick_double``
+then ``tick_bump`` leaves ``value == (0 * 2) + 3 == 3`` while the
+reverse order leaves ``(0 + 3) * 2 == 6`` — the result depends only on
+insertion ``seq``, which is exactly the conflict both detector halves
+exist to flag.  The static pass must see the write-write pairs through
+``tick_bump``'s one level of indirection (``_bump_value``); the dynamic
+``RaceSanitizer`` must raise :class:`~repro.errors.OrderRaceError` when
+a simulation actually dispatches the pair.
+"""
+
+from repro.sim.component import Component
+
+
+class RacyCounter(Component):
+    """Two same-cycle tickers racing on ``value`` and ``last_writer``."""
+
+    def __init__(self, sim, name="racy"):
+        super().__init__(sim, name)
+        self.value = 0
+        self.last_writer = "init"
+
+    def start(self, cycles=3):
+        """Schedule both tickers into each of the next ``cycles`` cycles."""
+        for delay in range(1, cycles + 1):
+            self.sim.schedule(delay, self.tick_double)
+            self.sim.schedule(delay, self.tick_bump)
+
+    def tick_double(self):
+        self.value = self.value * 2
+        self.last_writer = "double"
+
+    def tick_bump(self):
+        self._bump_value()
+        self.last_writer = "bump"
+
+    def _bump_value(self):
+        self.value = self.value + 3

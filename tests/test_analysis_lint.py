@@ -10,7 +10,12 @@ import textwrap
 import pytest
 
 from repro.analysis import lint_paths, lint_source, rules_by_id
-from repro.analysis.lint import Baseline, layer_of, summarize
+from repro.analysis.lint import (
+    Baseline,
+    layer_of,
+    summarize,
+    update_baseline_file,
+)
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
@@ -81,6 +86,73 @@ class TestSeededViolations:
             "def f(items):\n"
             "    for item in sorted(set(items)):\n"
             "        yield item\n"
+        ) == []
+
+    def test_ord001_set_name_iteration(self):
+        assert "ORD001" in rule_ids(
+            "def f(items):\n"
+            "    keys = frozenset(items)\n"
+            "    for k in keys:\n"
+            "        yield k\n"
+        )
+        # Propagates through a plain alias assignment.
+        assert "ORD001" in rule_ids(
+            "def f(items):\n"
+            "    a = set(items)\n"
+            "    b = a\n"
+            "    return [x for x in b]\n"
+        )
+
+    def test_ord001_set_pop_arbitrary_element(self):
+        assert "ORD001" in rule_ids(
+            "def f():\n"
+            "    seen = set()\n"
+            "    seen.add(1)\n"
+            "    seen.pop()\n"
+        )
+        # list.pop() and keyed dict.pop('k') stay legal.
+        assert rule_ids(
+            "def f(d):\n"
+            "    stack = [1]\n"
+            "    stack.pop()\n"
+            "    d.pop('k')\n"
+        ) == []
+
+    def test_ord001_fromkeys_dict_inherits_set_order(self):
+        assert "ORD001" in rule_ids(
+            "def f(items):\n"
+            "    s = set(items)\n"
+            "    d = dict.fromkeys(s)\n"
+            "    for k in d:\n"
+            "        yield k\n"
+        )
+        assert "ORD001" in rule_ids(
+            "def f(items):\n"
+            "    d = dict.fromkeys(set(items))\n"
+            "    for k in d.keys():\n"
+            "        yield k\n"
+        )
+
+    def test_ord001_rebound_name_clears_taint(self):
+        assert rule_ids(
+            "def f(items):\n"
+            "    seen = set(items)\n"
+            "    seen = sorted(seen)\n"
+            "    for k in seen:\n"
+            "        yield k\n"
+        ) == []
+
+    def test_ord001_taint_is_scope_local(self):
+        # The nested function's 'seen' is a different binding; the outer
+        # list must not inherit the inner taint (or vice versa).
+        assert rule_ids(
+            "def outer(items):\n"
+            "    seen = list(items)\n"
+            "    def inner():\n"
+            "        seen = set()\n"
+            "        seen.add(1)\n"
+            "    for k in seen:\n"
+            "        yield k\n"
         ) == []
 
     def test_ord001_downgraded_to_warning_in_host_layers(self):
@@ -155,6 +227,35 @@ class TestSuppression:
         )
         assert findings == ["WAL001"]
 
+    def test_pragma_anywhere_on_multiline_statement(self):
+        # The finding anchors on the statement's first line; the pragma
+        # sits on a continuation line (the common layout once a call is
+        # wrapped by a formatter).  The whole statement range counts.
+        assert rule_ids(
+            "def f(sim, n):\n"
+            "    sim.schedule(\n"
+            "        n / 2,  # lint: disable=FLT001\n"
+            "        callback,\n"
+            "    )\n"
+        ) == []
+        assert rule_ids(
+            "def f(sim, n):\n"
+            "    sim.schedule(  # lint: disable=FLT001\n"
+            "        n / 2,\n"
+            "        callback,\n"
+            "    )\n"
+        ) == []
+
+    def test_multiline_pragma_does_not_blanket_compound_bodies(self):
+        # A pragma on a 'for' header must not suppress findings inside
+        # the loop body (only the header lines are the statement range).
+        findings = rule_ids(
+            "def f(sim, items):  # lint: disable=FLT001\n"
+            "    for item in items:\n"
+            "        sim.schedule(item / 2, callback)\n"
+        )
+        assert findings == ["FLT001"]
+
     def test_baseline_suppresses_exact_and_wildcard(self):
         findings = lint_source("def f(acc=[]):\n    return acc\n",
                                path="src/repro/sim/toy.py", layer="sim")
@@ -171,6 +272,72 @@ class TestSuppression:
         baseline_file.write_text("# comment\n\nMUT001:a/b.py:3\n")
         baseline = Baseline.load(str(baseline_file))
         assert len(baseline) == 1
+
+    def test_baseline_load_strips_inline_justifications(self, tmp_path):
+        baseline_file = tmp_path / "baseline.txt"
+        baseline_file.write_text(
+            "# header\n"
+            "MUT001:a/b.py:3  # reviewed: harmless in this context\n"
+            "ORD001:a/c.py:*  # output order pinned downstream\n"
+        )
+        baseline = Baseline.load(str(baseline_file))
+        assert len(baseline) == 2
+        finding = lint_source(
+            "def f(items):\n    for i in set(items):\n        pass\n",
+            path="a/c.py", layer="sim",
+        )[0]
+        # The wildcard entry parsed despite its trailing comment.
+        assert baseline.covers(finding)
+
+
+# ----------------------------------------------------------------------
+# Baseline regeneration (--update-baseline)
+# ----------------------------------------------------------------------
+class TestUpdateBaseline:
+    def _findings(self):
+        return lint_source(
+            "import time\n\n\ndef f(acc=[]):\n    return acc\n",
+            path="src/repro/sim/bad.py", layer="sim",
+        )
+
+    def test_writes_sorted_entries_with_default_header(self, tmp_path):
+        target = tmp_path / "baseline.txt"
+        count = update_baseline_file(str(target), self._findings())
+        lines = target.read_text().splitlines()
+        entries = [line for line in lines if not line.startswith("#")]
+        assert count == len(entries) == 2
+        assert entries == sorted(entries)
+        assert lines[0].startswith("#")
+
+    def test_preserves_header_and_surviving_comments(self, tmp_path):
+        target = tmp_path / "baseline.txt"
+        target.write_text(
+            "# custom header line one\n"
+            "# custom header line two\n"
+            "MUT001:src/repro/sim/bad.py:4  # reviewed: accumulator\n"
+            "WAL001:src/repro/gone.py:9  # stale entry, file deleted\n"
+        )
+        update_baseline_file(str(target), self._findings())
+        content = target.read_text()
+        assert content.startswith("# custom header line one\n"
+                                  "# custom header line two\n")
+        # Surviving entry keeps its justification; the stale one is gone.
+        assert "# reviewed: accumulator" in content
+        assert "gone.py" not in content
+
+    def test_atomic_no_temp_file_left_behind(self, tmp_path):
+        target = tmp_path / "baseline.txt"
+        update_baseline_file(str(target), self._findings())
+        leftovers = [p.name for p in tmp_path.iterdir()
+                     if p.name != "baseline.txt"]
+        assert leftovers == []
+
+    def test_regenerated_file_round_trips_through_load(self, tmp_path):
+        target = tmp_path / "baseline.txt"
+        findings = self._findings()
+        update_baseline_file(str(target), findings)
+        baseline = Baseline.load(str(target))
+        assert all(baseline.covers(f) for f in findings)
 
 
 # ----------------------------------------------------------------------
