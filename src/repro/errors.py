@@ -93,6 +93,23 @@ class DeterminismError(SanitizerError):
     digests — the invariant the disk result cache depends on."""
 
 
+class SweepAbortedError(ReproError):
+    """The sweep executor stopped before completing its batch — the
+    circuit breaker tripped (``max_consecutive_failures``), a SIGINT/
+    SIGTERM arrived, or a configured ``abort_after`` fired.  Carries the
+    partial ``results`` (``{index: RunResult}`` for jobs that completed
+    before the abort) and the structured ``failures`` recorded so far;
+    everything in ``results`` is already persisted and journaled when a
+    cache directory and manifest are configured, so an aborted sweep is
+    resumable."""
+
+    def __init__(self, reason, results=None, failures=None):
+        super().__init__(reason)
+        self.reason = reason
+        self.results = {} if results is None else results
+        self.failures = [] if failures is None else failures
+
+
 class BenchError(ReproError):
     """Raised for invalid BENCH records: an unreadable or missing baseline
     file, a schema version newer than this code understands, or a record

@@ -1,12 +1,17 @@
-"""repro.exec — parallel, cached experiment execution.
+"""repro.exec — parallel, cached, fault-tolerant experiment execution.
 
 The execution substrate for the figure harnesses and ad-hoc sweeps:
 picklable :class:`RunJob` descriptions, a content-addressed on-disk
 :class:`DiskResultCache` (L2 under ``RunCache``'s in-memory L1), and the
 :class:`SweepExecutor` that shards jobs across a process pool with
-timeout/retry robustness and ``sweep.jobs.*`` progress metrics.
+timeout/retry/speculation robustness and ``sweep.jobs.*`` progress
+metrics.  :mod:`repro.exec.resilience` adds the chaos-testing and
+checkpoint/resume layer: a seeded :class:`WorkerFaultPlan` injected into
+pool workers, and the append-only :class:`SweepManifest` journal that
+makes an interrupted sweep resumable.
 
-See docs/EXECUTION.md for the cache-key composition and CLI examples.
+See docs/EXECUTION.md for the cache-key composition, the resilience
+model, and CLI examples.
 """
 
 from repro.exec.diskcache import DiskResultCache
@@ -19,7 +24,17 @@ from repro.exec.jobs import (
     execute_job_observed,
     make_job,
 )
-from repro.exec.progress import SweepHeartbeat, read_heartbeats
+from repro.exec.progress import (
+    SweepHeartbeat,
+    read_heartbeats,
+    read_jsonl_prefix,
+)
+from repro.exec.resilience import (
+    SweepManifest,
+    WorkerFaultPlan,
+    execute_job_resilient,
+    install_worker_fault_plan,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -28,9 +43,14 @@ __all__ = [
     "RunJob",
     "SweepExecutor",
     "SweepHeartbeat",
+    "SweepManifest",
+    "WorkerFaultPlan",
     "default_jobs",
     "execute_job",
     "execute_job_observed",
+    "execute_job_resilient",
+    "install_worker_fault_plan",
     "make_job",
     "read_heartbeats",
+    "read_jsonl_prefix",
 ]

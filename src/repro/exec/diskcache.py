@@ -33,6 +33,15 @@ class DiskResultCache:
     def path_for(self, job: RunJob) -> Path:
         return self.root / f"{job.cache_key()}.json"
 
+    def has(self, job: RunJob) -> bool:
+        """Whether an entry exists for ``job`` (no schema/parse check —
+        a stale or corrupt file still reads as a miss via :meth:`load`)."""
+        return self.path_for(job).exists()
+
+    def has_key(self, key: str) -> bool:
+        """Existence check by raw cache key (manifest audit helper)."""
+        return (self.root / f"{key}.json").exists()
+
     def load(self, job: RunJob) -> Optional[RunResult]:
         """The cached result for ``job``, or None (miss/corrupt/stale)."""
         path = self.path_for(job)

@@ -3,44 +3,96 @@
 :class:`SweepExecutor` owns the three concerns the experiment layer
 shouldn't: *where* a job runs (in-process for ``jobs=1``, a
 ``ProcessPoolExecutor`` shard otherwise), *whether* it needs to run at all
-(the content-addressed :class:`~repro.exec.diskcache.DiskResultCache` L2),
-and *what happens when it breaks* (per-job timeout, one retry after a
-worker crash, and a structured :class:`~repro.exec.jobs.JobFailure` record
-instead of aborting the sweep).  Progress is published through a
+(the content-addressed :class:`~repro.exec.diskcache.DiskResultCache` L2,
+plus the :class:`~repro.exec.resilience.SweepManifest` checkpoint journal
+for ``--resume``), and *what happens when it breaks*:
+
+- per-job wall-clock timeout (a stuck worker becomes a failure record,
+  and its pool is torn down so the slot is recovered);
+- per-job bounded retries with :class:`~repro.faults.retry.RetryPolicy`
+  backoff — scheduled as an *eligibility time*, never a blocking sleep,
+  so a permanently failing job costs zero idle wall-clock after its
+  final attempt;
+- straggler speculation — once the running median job wall-time is
+  known, a job overdue by ``speculate`` x median gets a second copy
+  submitted, first result wins;
+- a circuit breaker (``max_consecutive_failures``) and SIGINT/SIGTERM
+  handling that drain in-flight jobs, flush the manifest, write the
+  terminal heartbeat, and raise a typed
+  :class:`~repro.errors.SweepAbortedError` with the partial results;
+- deterministic chaos testing of all of the above via an injected
+  :class:`~repro.exec.resilience.WorkerFaultPlan`.
+
+Progress is published through a
 :class:`~repro.obs.metrics.MetricsRegistry` under ``sweep.jobs.*`` so
-``--metrics-out`` captures queued/done/failed/cache-hit counts and the
-per-job wall-clock histogram; ``heartbeat=`` additionally streams a live
-JSONL pulse (:mod:`repro.exec.progress`), and ``worker_metrics=True``
-folds each worker process's counter totals back into the parent registry
-under ``workers.*``.
+``--metrics-out`` captures queued/done/failed/cache-hit/speculative/
+resumed counts and the per-job wall-clock histogram; ``heartbeat=``
+additionally streams a live JSONL pulse (:mod:`repro.exec.progress`)
+including a per-worker last-seen liveness map, and
+``worker_metrics=True`` folds each worker process's counter totals back
+into the parent registry under ``workers.*``.
 """
 
 from __future__ import annotations
 
 import os
+import signal
+import statistics
 import time
-from concurrent.futures import ProcessPoolExecutor, TimeoutError as FutureTimeout
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from repro.errors import SweepAbortedError
 from repro.exec.diskcache import DiskResultCache
 from repro.exec.jobs import (
     JobFailure,
     RunJob,
     execute_job,
     execute_job_observed,
-    execute_job_timed,
 )
 from repro.exec.progress import SweepHeartbeat
+from repro.exec.resilience import (
+    CRASH,
+    SweepManifest,
+    WorkerFaultPlan,
+    execute_job_resilient,
+    install_worker_fault_plan,
+)
 from repro.faults.retry import RetryPolicy
 from repro.obs.metrics import MetricsRegistry
 from repro.system.result import RunResult
+
+#: Completed wall-time samples required before the speculation deadline
+#: (``speculate`` x running median) is considered meaningful.
+SPECULATE_MIN_SAMPLES = 3
+
+#: How long an abort drain waits for in-flight jobs before giving up and
+#: killing the pool (bounded: a hung worker must not turn a Ctrl-C into
+#: an indefinite stall).
+DRAIN_TIMEOUT_SECONDS = 30.0
 
 
 def default_jobs() -> int:
     """Default shard count: leave one core for the coordinating process."""
     return max(1, (os.cpu_count() or 2) - 1)
+
+
+@dataclass
+class _Flight:
+    """One in-flight pool submission (a job attempt or its spec copy)."""
+
+    index: int
+    salt: str
+    started: float
+    speculative: bool = False
 
 
 class SweepExecutor:
@@ -57,15 +109,24 @@ class SweepExecutor:
         worker_metrics: bool = False,
         heartbeat: Optional[str] = None,
         heartbeat_every: float = 1.0,
+        worker_faults: Optional[WorkerFaultPlan] = None,
+        manifest: Optional[str] = None,
+        resume: bool = False,
+        speculate: Optional[float] = None,
+        max_consecutive_failures: Optional[int] = None,
+        abort_after: Optional[int] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.disk = DiskResultCache(cache_dir) if cache_dir else None
         self.registry = registry if registry is not None else MetricsRegistry()
         self.job_timeout = job_timeout
         self.retries = max(0, int(retries))
-        #: Deterministic exponential backoff between pool passes — the
-        #: same policy object the simulator's fault path uses, so retry
-        #: semantics are specified in exactly one place.
+        #: Deterministic exponential backoff between attempts of one job —
+        #: the same policy object the simulator's fault path uses, so
+        #: retry semantics are specified in exactly one place.  Applied as
+        #: a per-job *eligibility time*, never a blocking sleep: the pool
+        #: keeps executing other jobs while a crashed one waits out its
+        #: backoff, and a job's final failure schedules no backoff at all.
         self.retry_policy = RetryPolicy(
             max_retries=self.retries,
             base_delay=float(retry_backoff),
@@ -81,7 +142,33 @@ class SweepExecutor:
             SweepHeartbeat(heartbeat, every=heartbeat_every)
             if heartbeat else None
         )
+        #: Optional deterministic chaos plan installed into pool workers.
+        #: Chaos only ever perturbs worker timing/liveness, never the
+        #: simulation, so a chaos sweep's results stay byte-identical to
+        #: serial execution.
+        self.worker_faults: Optional[WorkerFaultPlan] = worker_faults
+        #: Optional append-only checkpoint journal (see
+        #: :class:`~repro.exec.resilience.SweepManifest`).
+        self.manifest: Optional[SweepManifest] = (
+            SweepManifest(manifest, resume=resume) if manifest else None
+        )
+        #: Straggler deadline multiplier over the running median job
+        #: wall-time; None disables speculative re-submission.
+        self.speculate = float(speculate) if speculate else None
+        #: Circuit breaker: abort the sweep after this many failures in a
+        #: row (resets on any success); None disables.
+        self.max_consecutive_failures = max_consecutive_failures
+        #: Graceful abort after this many completed jobs — the
+        #: deterministic "simulated interrupt" chaos tests and CI resume
+        #: smoke runs use; None disables.
+        self.abort_after = abort_after
         self.failures: List[JobFailure] = []
+        #: Why the sweep aborted, or None if it ran to completion.
+        self.aborted_reason: Optional[str] = None
+        self._abort_requested: Optional[str] = None
+        #: Per-worker last-seen wall-clock (pid -> time.time()), fed by
+        #: every pool completion and published in the heartbeat.
+        self._worker_seen: Dict[int, float] = {}
         reg = self.registry
         self._queued = reg.counter("sweep.jobs.queued")
         self._done = reg.counter("sweep.jobs.done")
@@ -90,6 +177,10 @@ class SweepExecutor:
         self._retried = reg.counter("sweep.jobs.retries")
         self._hit_memory = reg.counter("sweep.jobs.cache_hit_memory")
         self._hit_disk = reg.counter("sweep.jobs.cache_hit_disk")
+        self._speculative = reg.counter("sweep.jobs.speculative")
+        self._spec_wins = reg.counter("sweep.jobs.speculative_wins")
+        self._resumed = reg.counter("sweep.jobs.resumed")
+        self._aborted = reg.counter("sweep.aborted")
         self._running = reg.gauge("sweep.jobs.running")
         self._wall = reg.histogram("sweep.job_wall_seconds")
         #: Simulated events completed across the sweep (worker-metrics
@@ -102,7 +193,7 @@ class SweepExecutor:
     def _progress_stats(self) -> Dict[str, object]:
         # getattr with a default: a disabled registry hands out NullMetric
         # handles, which carry no ``value``.
-        return {
+        stats: Dict[str, object] = {
             "total": getattr(self._queued, "value", 0),
             "done": getattr(self._done, "value", 0),
             "failed": getattr(self._failed, "value", 0),
@@ -111,16 +202,36 @@ class SweepExecutor:
             + getattr(self._hit_disk, "value", 0),
             "running": getattr(self._running, "value", 0),
             "events": getattr(self._events, "value", 0),
+            "speculative": getattr(self._speculative, "value", 0),
+            "resumed": getattr(self._resumed, "value", 0),
+            "aborted": getattr(self._aborted, "value", 0),
         }
+        if self._worker_seen:
+            now = time.time()
+            stats["workers"] = {
+                str(pid): round(max(0.0, now - seen), 3)
+                for pid, seen in sorted(self._worker_seen.items())
+            }
+        return stats
 
     def _beat(self, force: bool = False) -> None:
         if self.heartbeat is not None:
             self.heartbeat.beat(self._progress_stats(), force=force)
 
     def finish_heartbeat(self) -> None:
-        """Write the terminal heartbeat record (call once, sweep done)."""
+        """Write the terminal heartbeat record (idempotent).
+
+        The phase is ``"aborted"`` when the sweep stopped early (circuit
+        breaker, signal, ``abort_after``) and ``"finished"`` otherwise.
+        """
         if self.heartbeat is not None:
-            self.heartbeat.finish(self._progress_stats())
+            phase = "aborted" if self.aborted_reason else "finished"
+            self.heartbeat.finish(self._progress_stats(), phase=phase)
+
+    def close(self) -> None:
+        """Release teardown-sensitive resources (the manifest handle)."""
+        if self.manifest is not None:
+            self.manifest.close()
 
     # ------------------------------------------------------------------
     # L2 cache
@@ -137,14 +248,31 @@ class SweepExecutor:
         result = self.disk.load(job)
         if result is not None:
             self._hit_disk.inc()
+            if (
+                self.manifest is not None
+                and self.manifest.was_resumed(job.cache_key())
+            ):
+                # Served because a previous (crashed/aborted) run
+                # journaled it — the resume path's whole point.
+                self._resumed.inc()
             self._beat()
         return result
 
     def store(self, job: RunJob, result: RunResult) -> None:
         """Persist a freshly computed result (all jobs are storable — a
-        later non-rich request may be served from the JSON)."""
+        later non-rich request may be served from the JSON) and journal
+        its completion.  The store happens before the journal append, so
+        every manifest key is servable on resume."""
         if self.disk is not None:
             self.disk.store(job, result)
+            self._journal(job)
+
+    def _journal(self, job: RunJob) -> None:
+        if self.manifest is not None:
+            self.manifest.record(
+                job.cache_key(),
+                {"workload": job.workload, "seed": job.seed},
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -197,33 +325,68 @@ class SweepExecutor:
         Failures never raise: each lands in :attr:`failures` (and the
         ``sweep.jobs.failed`` counter) so one broken cell cannot abort a
         hundred-job sweep.  Worker exceptions and pool crashes get
-        ``retries`` extra attempts in a fresh pool; timeouts do not (the
-        stuck worker may still be burning its core).
+        ``retries`` extra attempts with non-blocking backoff; timeouts do
+        not (the stuck worker may still be burning its core, so its pool
+        is torn down and rebuilt instead).  Each pool result is persisted
+        to the disk cache and journaled to the manifest *as it
+        completes*, so an interrupted sweep is resumable from exactly the
+        work it finished.
+
+        The only exception raised is :class:`SweepAbortedError` — the
+        circuit breaker tripped, ``abort_after`` fired, or SIGINT/SIGTERM
+        arrived — and it carries the partial results.
         """
         results: Dict[int, RunResult] = {}
         if not jobs:
             return results
         self._queued.inc(len(jobs))
         self._beat(force=True)
-        if self.jobs <= 1 or len(jobs) == 1:
-            for index, job in enumerate(jobs):
-                self._attempt_inline(index, job, results)
-            return results
-        pending = list(range(len(jobs)))
-        for attempt in range(1 + self.retries):
-            if not pending:
-                break
-            if attempt:
-                # Deterministic exponential backoff before each retry pass
-                # (crashed pools often need a moment to release resources).
-                time.sleep(self.retry_policy.delay_for(attempt - 1))
-            final = attempt == self.retries
-            pending = self._map_once(jobs, pending, results, attempt + 1, final)
+        previous = self._install_signal_handlers()
+        try:
+            if self.jobs <= 1 or len(jobs) == 1:
+                self._map_serial(jobs, results)
+            else:
+                self._map_pool(jobs, results)
+        finally:
+            self._restore_signal_handlers(previous)
         return results
 
     # ------------------------------------------------------------------
-    # Internals
+    # Serial path
     # ------------------------------------------------------------------
+    def _map_serial(
+        self, jobs: Sequence[RunJob], results: Dict[int, RunResult]
+    ) -> None:
+        consecutive = 0
+        for index, job in enumerate(jobs):
+            if self._abort_requested:
+                self._finish_abort(
+                    results, f"received {self._abort_requested}"
+                )
+            before = len(self.failures)
+            self._attempt_inline(index, job, results)
+            if len(self.failures) > before:
+                consecutive += 1
+                if (
+                    self.max_consecutive_failures is not None
+                    and consecutive >= self.max_consecutive_failures
+                ):
+                    self._finish_abort(
+                        results,
+                        "circuit breaker tripped: "
+                        f"{consecutive} consecutive failures",
+                    )
+            else:
+                consecutive = 0
+            if (
+                self.abort_after is not None
+                and len(results) >= self.abort_after
+                and index + 1 < len(jobs)
+            ):
+                self._finish_abort(
+                    results, f"abort_after={self.abort_after} reached"
+                )
+
     def _attempt_inline(self, index, job, results) -> None:
         started = perf_counter()
         self._running.set(1)
@@ -241,6 +404,7 @@ class SweepExecutor:
         self._executed.inc()
         self._done.inc()
         self._wall.observe(perf_counter() - started)
+        self.store(job, result)
         self._beat()
         results[index] = result
 
@@ -249,79 +413,377 @@ class SweepExecutor:
         self.registry.merge_counters(counters, prefix="workers.")
         self._events.inc(counters.get("sim.events_processed", 0))
 
-    def _map_once(
-        self,
-        jobs: Sequence[RunJob],
-        pending: List[int],
-        results: Dict[int, RunResult],
-        attempt: int,
-        final: bool,
-    ) -> List[int]:
-        """One pool pass over ``pending``; returns the indices to retry."""
-        retry: List[int] = []
-        timed_out = False
-        pool = ProcessPoolExecutor(max_workers=min(self.jobs, len(pending)))
-        entry = (
-            execute_job_observed if self.worker_metrics else execute_job_timed
-        )
-        try:
-            futures = {
-                index: pool.submit(entry, jobs[index])
-                for index in pending
-            }
-            outstanding = len(futures)
-            self._running.set(outstanding)
-            for index, future in futures.items():
-                job = jobs[index]
-                started = perf_counter()
-                try:
-                    payload = future.result(timeout=self.job_timeout)
-                except FutureTimeout:
-                    timed_out = True
-                    future.cancel()
-                    self._record_failure(
-                        job,
-                        f"timed out after {self.job_timeout}s",
-                        attempt,
-                        perf_counter() - started,
-                        kind="timeout",
-                    )
-                except BrokenProcessPool as exc:
-                    if final:
-                        self._record_failure(
-                            job, repr(exc), attempt,
-                            perf_counter() - started, kind="crash",
-                        )
-                    else:
-                        self._retried.inc()
-                        retry.append(index)
-                except Exception as exc:
-                    if final:
-                        self._record_failure(
-                            job, repr(exc), attempt, perf_counter() - started
-                        )
-                    else:
-                        self._retried.inc()
-                        retry.append(index)
+    # ------------------------------------------------------------------
+    # Pool scheduler
+    # ------------------------------------------------------------------
+    def _map_pool(
+        self, jobs: Sequence[RunJob], results: Dict[int, RunResult]
+    ) -> None:
+        """Event-driven pool scheduler over the whole batch.
+
+        One regular flight per unresolved job at a time, identified by a
+        deterministic attempt salt (its charged-failure count) so an
+        installed :class:`WorkerFaultPlan` faults the same attempts
+        regardless of scheduling.  Speculative copies run with chaos
+        suppressed and ``first result wins`` dedup by job index.
+        """
+        plan = self.worker_faults
+        if plan is not None and plan.is_empty:
+            plan = None
+        keys = [job.job_key() for job in jobs]
+        width = min(self.jobs, len(jobs))
+        backlog: Deque[int] = deque(range(len(jobs)))
+        attempts = [0] * len(jobs)       # charged failures so far
+        submissions = [0] * len(jobs)    # next regular attempt salt
+        eligible = [0.0] * len(jobs)     # earliest resubmit (monotonic)
+        speculated = [False] * len(jobs)
+        resolved: Set[int] = set()
+        walls: List[float] = []
+        active: Dict[object, _Flight] = {}
+        state = {"consecutive": 0, "completed": 0}
+        pool = self._new_pool(plan, width)
+        tainted = False  # a hung/abandoned worker means forced teardown
+
+        def submit(index: int, speculative: bool) -> None:
+            """May raise BrokenProcessPool when the pool died since the
+            last wait — callers recover() and resubmit to a fresh one."""
+            salt = f"s{index}" if speculative else str(submissions[index])
+            future = pool.submit(
+                execute_job_resilient,
+                jobs[index],
+                keys[index],
+                salt,
+                self.worker_metrics,
+                not speculative,
+            )
+            if speculative:
+                self._speculative.inc()
+                speculated[index] = True
+            else:
+                submissions[index] += 1
+            active[future] = _Flight(
+                index, salt, time.monotonic(), speculative
+            )
+
+        def note_failure() -> None:
+            state["consecutive"] += 1
+
+        def charge(flight: _Flight, error: str, kind: str) -> None:
+            """Count one failed attempt; final failures resolve the job."""
+            index = flight.index
+            attempts[index] += 1
+            if attempts[index] > self.retries:
+                resolved.add(index)
+                self._record_failure(
+                    jobs[index], error, attempts[index],
+                    time.monotonic() - flight.started, kind=kind,
+                )
+                note_failure()
+            else:
+                self._retried.inc()
+                eligible[index] = (
+                    time.monotonic()
+                    + self.retry_policy.delay_for(attempts[index] - 1)
+                )
+                backlog.append(index)
+
+        def requeue_innocent(flight: _Flight) -> None:
+            """Re-run a flight lost to someone else's crash, same salt,
+            uncharged — keeps chaos verdict streams deterministic."""
+            submissions[flight.index] -= 1
+            backlog.appendleft(flight.index)
+
+        def recover(extra) -> None:
+            """Broken-pool recovery: attribute each lost flight (injected
+            crash verdicts are charged, innocent bystanders resubmit with
+            the same salt) and rebuild the pool."""
+            nonlocal pool
+            lost = list(extra)
+            lost.extend(active.values())
+            active.clear()
+            self._shutdown_pool(pool, force=True)
+            for flight in lost:
+                if flight.index in resolved:
+                    continue
+                if flight.speculative:
+                    speculated[flight.index] = False
+                    continue
+                if plan is not None and plan.verdict_for(
+                    keys[flight.index], flight.salt
+                ) != CRASH:
+                    requeue_innocent(flight)
                 else:
-                    if self.worker_metrics:
-                        result, wall, counters = payload
-                        self._absorb_worker_counters(counters)
+                    charge(
+                        flight,
+                        "worker process died (broken pool)",
+                        kind="crash",
+                    )
+            pool = self._new_pool(plan, width)
+
+        def harvest(future, flight: _Flight) -> None:
+            result, wall, counters, pid = future.result()
+            self._worker_seen[pid] = time.time()
+            if counters is not None:
+                self._absorb_worker_counters(counters)
+            resolved.add(flight.index)
+            results[flight.index] = result
+            self._executed.inc()
+            self._done.inc()
+            self._wall.observe(wall)
+            walls.append(wall)
+            if flight.speculative:
+                self._spec_wins.inc()
+            self.store(jobs[flight.index], result)
+            state["consecutive"] = 0
+            state["completed"] += 1
+            self._beat()
+
+        def abort_reason() -> Optional[str]:
+            if self._abort_requested:
+                return f"received {self._abort_requested}"
+            if (
+                self.max_consecutive_failures is not None
+                and state["consecutive"] >= self.max_consecutive_failures
+            ):
+                return (
+                    "circuit breaker tripped: "
+                    f"{state['consecutive']} consecutive failures"
+                )
+            if (
+                self.abort_after is not None
+                and state["completed"] >= self.abort_after
+                and len(resolved) < len(jobs)
+            ):
+                return f"abort_after={self.abort_after} reached"
+            return None
+
+        try:
+            while len(resolved) < len(jobs):
+                reason = abort_reason()
+                if reason is not None:
+                    self._drain(active, jobs, results, resolved, walls)
+                    self._finish_abort(results, reason)
+                now = time.monotonic()
+                # Submit: at most one regular flight per unresolved job,
+                # respecting per-job backoff eligibility.
+                submit_failed = False
+                while backlog and len(active) < width and not submit_failed:
+                    for _ in range(len(backlog)):
+                        index = backlog.popleft()
+                        if index in resolved:
+                            continue
+                        if eligible[index] <= now:
+                            try:
+                                submit(index, speculative=False)
+                            except BrokenProcessPool:
+                                backlog.appendleft(index)
+                                recover(())
+                                submit_failed = True
+                            break
+                        backlog.append(index)
                     else:
-                        result, wall = payload
-                    self._executed.inc()
-                    self._done.inc()
-                    self._wall.observe(wall)
-                    self._beat()
-                    results[index] = result
-                outstanding -= 1
-                self._running.set(outstanding)
+                        break  # backlog non-empty but nothing eligible yet
+                if submit_failed:
+                    continue
+                # Speculate: only once the backlog is clear and enough
+                # wall samples exist to trust the median.
+                if (
+                    self.speculate is not None
+                    and not backlog
+                    and len(walls) >= SPECULATE_MIN_SAMPLES
+                    and len(active) < width
+                ):
+                    deadline = self.speculate * statistics.median(walls)
+                    for flight in list(active.values()):
+                        if len(active) >= width:
+                            break
+                        if (
+                            not flight.speculative
+                            and not speculated[flight.index]
+                            and flight.index not in resolved
+                            and now - flight.started > deadline
+                        ):
+                            try:
+                                submit(flight.index, speculative=True)
+                            except BrokenProcessPool:
+                                recover(())
+                                submit_failed = True
+                                break
+                if submit_failed:
+                    continue
+                self._running.set(len(active))
+                self._beat()
+                if not active:
+                    if not backlog:
+                        break  # everything resolved or abandoned
+                    # Nothing in flight; wait out the nearest backoff.
+                    pending = [
+                        eligible[i] for i in backlog if i not in resolved
+                    ]
+                    if not pending:
+                        break
+                    time.sleep(
+                        min(0.25, max(0.0, min(pending) - time.monotonic()))
+                    )
+                    continue
+                done, _not_done = wait(
+                    list(active), timeout=0.1, return_when=FIRST_COMPLETED
+                )
+                broken: List[_Flight] = []
+                pool_broke = False
+                for future in done:
+                    flight = active.pop(future)
+                    if flight.index in resolved:
+                        continue  # late loser of a speculation race
+                    exc = future.exception()
+                    if exc is None:
+                        harvest(future, flight)
+                    elif isinstance(exc, BrokenProcessPool):
+                        pool_broke = True
+                        broken.append(flight)
+                    elif flight.speculative:
+                        pass  # a failed spec copy charges nobody
+                    else:
+                        charge(flight, repr(exc), kind="error")
+                if pool_broke:
+                    # Every other in-flight future died with the pool.
+                    recover(broken)
+                    continue
+                # Per-flight wall-clock timeout: resolve as failure (no
+                # retry — the worker may still be burning its core) and
+                # rebuild the pool to reclaim the wedged slot.
+                if self.job_timeout is not None and active:
+                    now = time.monotonic()
+                    expired = [
+                        (future, flight)
+                        for future, flight in active.items()
+                        if now - flight.started > self.job_timeout
+                    ]
+                    if expired:
+                        tainted = True
+                        for future, flight in expired:
+                            future.cancel()
+                            del active[future]
+                            if (
+                                flight.index in resolved
+                                or flight.speculative
+                            ):
+                                continue
+                            attempts[flight.index] += 1
+                            resolved.add(flight.index)
+                            self._record_failure(
+                                jobs[flight.index],
+                                f"timed out after {self.job_timeout}s",
+                                attempts[flight.index],
+                                now - flight.started,
+                                kind="timeout",
+                            )
+                            note_failure()
+                        survivors = list(active.values())
+                        active.clear()
+                        self._shutdown_pool(pool, force=True)
+                        for flight in survivors:
+                            if flight.index in resolved:
+                                continue
+                            if flight.speculative:
+                                speculated[flight.index] = False
+                                continue
+                            requeue_innocent(flight)
+                        pool = self._new_pool(plan, width)
         finally:
-            # After a timeout the stuck worker may never exit; don't let
-            # shutdown() wait on it.
-            pool.shutdown(wait=not timed_out, cancel_futures=True)
+            self._shutdown_pool(pool, force=tainted or bool(active))
             self._running.set(0)
-        return retry
+
+    # ------------------------------------------------------------------
+    # Abort machinery
+    # ------------------------------------------------------------------
+    def _drain(self, active, jobs, results, resolved, walls) -> None:
+        """Let in-flight jobs finish (bounded) before aborting; completed
+        work is harvested, stored, and journaled so nothing is wasted."""
+        deadline = time.monotonic() + min(
+            DRAIN_TIMEOUT_SECONDS,
+            self.job_timeout if self.job_timeout else DRAIN_TIMEOUT_SECONDS,
+        )
+        while active and time.monotonic() < deadline:
+            done, _ = wait(
+                list(active), timeout=0.2, return_when=FIRST_COMPLETED
+            )
+            for future in done:
+                flight = active.pop(future)
+                if flight.index in resolved:
+                    continue
+                if future.exception() is not None:
+                    continue  # aborting anyway; the job reruns on resume
+                result, wall, counters, pid = future.result()
+                self._worker_seen[pid] = time.time()
+                if counters is not None:
+                    self._absorb_worker_counters(counters)
+                resolved.add(flight.index)
+                results[flight.index] = result
+                self._executed.inc()
+                self._done.inc()
+                self._wall.observe(wall)
+                walls.append(wall)
+                self.store(jobs[flight.index], result)
+
+    def _finish_abort(self, results, reason: str) -> None:
+        """Common abort tail: flush the journal, write the terminal
+        heartbeat, and raise the typed abort carrying partial state."""
+        self.aborted_reason = reason
+        self._aborted.inc()
+        if self.manifest is not None:
+            self.manifest.flush()
+        self.finish_heartbeat()
+        raise SweepAbortedError(
+            reason, results=dict(results), failures=list(self.failures)
+        )
+
+    def _on_signal(self, signum, frame) -> None:
+        self._abort_requested = signal.Signals(signum).name
+
+    def _install_signal_handlers(self):
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous[signum] = signal.signal(signum, self._on_signal)
+            except ValueError:
+                # Not the main thread — the host application owns signal
+                # delivery; aborts still work via abort_after/breaker.
+                pass
+        return previous
+
+    def _restore_signal_handlers(self, previous) -> None:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _new_pool(
+        self, plan: Optional[WorkerFaultPlan], width: int
+    ) -> ProcessPoolExecutor:
+        if plan is not None:
+            return ProcessPoolExecutor(
+                max_workers=width,
+                initializer=install_worker_fault_plan,
+                initargs=(plan.to_dict(),),
+            )
+        return ProcessPoolExecutor(max_workers=width)
+
+    def _shutdown_pool(self, pool, force: bool = False) -> None:
+        """Tear a pool down; ``force`` kills worker processes outright so
+        a hung worker can never wedge teardown or interpreter exit."""
+        pool.shutdown(wait=not force, cancel_futures=True)
+        if force:
+            processes = getattr(pool, "_processes", None)
+            for process in list((processes or {}).values()):
+                try:
+                    process.kill()
+                except Exception:
+                    pass
 
     def _record_failure(
         self, job, error, attempts, wall_seconds, kind="error"
@@ -344,4 +806,8 @@ class SweepExecutor:
         tree.setdefault("sweep", {})["failures"] = [
             failure.to_dict() for failure in self.failures
         ]
+        if self.aborted_reason is not None:
+            tree.setdefault("sweep", {})["aborted_reason"] = (
+                self.aborted_reason
+            )
         return tree

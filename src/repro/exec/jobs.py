@@ -92,6 +92,23 @@ class RunJob:
         ))
         return hashlib.sha256(material.encode("utf-8")).hexdigest()
 
+    def job_key(self) -> str:
+        """Stable human-readable identity for chaos fault plans.
+
+        Unlike :meth:`cache_key` this is version-independent (so a
+        :class:`~repro.exec.resilience.WorkerFaultPlan`'s poison list
+        survives a code bump) yet still collision-free across sweep
+        cells: the trailing hash fragment separates configs that share
+        workload/scale/seed/policy coordinates.
+        """
+        config_tag = hashlib.sha256(
+            repr(self.config).encode("utf-8")
+        ).hexdigest()[:8]
+        return (
+            f"{self.workload}@{self.scale:g}/s{self.seed}"
+            f"/{self.policy_key or 'config'}/{config_tag}"
+        )
+
     def pool_safe(self, policy_factory=None) -> bool:
         """Whether a worker process can reproduce this job exactly.
 

@@ -40,6 +40,7 @@ class SweepHeartbeat:
         self.every = max(0.0, float(every))
         self._started = time.time()
         self._last_write: Optional[float] = None
+        self._finished = False
         self.beats = 0
         # Truncate: a heartbeat file always describes exactly one sweep.
         directory = os.path.dirname(os.path.abspath(path))
@@ -86,19 +87,56 @@ class SweepHeartbeat:
         self.beats += 1
         return True
 
-    def finish(self, stats: Dict[str, object]) -> None:
-        """Write the terminal record unconditionally."""
+    def finish(
+        self, stats: Dict[str, object], phase: str = "finished"
+    ) -> None:
+        """Write the terminal record unconditionally (once).
+
+        Idempotent: teardown paths overlap (an aborting executor writes
+        its own terminal record, then the CLI's ``finally`` calls
+        ``finish_heartbeat`` again), and the file contract is that the
+        last line *is* the terminal state — a second terminal line would
+        bury the ``"aborted"`` phase under a later ``"finished"`` one.
+        """
+        if self._finished:
+            return
+        self._finished = True
         final = dict(stats)
-        final["phase"] = "finished"
+        final["phase"] = phase
         self.beat(final, force=True)
 
 
-def read_heartbeats(path: str):
-    """Parse a heartbeat file back into records (newest last)."""
-    records = []
+def read_jsonl_prefix(path: str):
+    """Parse a JSONL file, tolerating a torn *final* line.
+
+    Append-only JSONL files (heartbeats, sweep manifests) may end
+    mid-record when the writer dies between ``write`` and the kernel
+    flushing a full line; the complete prefix is still meaningful and is
+    returned.  A malformed line *followed by* further records is real
+    corruption, not a torn append, and still raises.
+    """
+    lines = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
             if line:
-                records.append(json.loads(line))
+                lines.append(line)
+    records = []
+    for position, line in enumerate(lines):
+        try:
+            records.append(json.loads(line))
+        except ValueError:
+            if position == len(lines) - 1:
+                break
+            raise
     return records
+
+
+def read_heartbeats(path: str):
+    """Parse a heartbeat file back into records (newest last).
+
+    A sweep killed mid-append leaves a torn final line; the complete
+    prefix is returned instead of raising, so post-mortem tooling can
+    always read how far the sweep got.
+    """
+    return read_jsonl_prefix(path)

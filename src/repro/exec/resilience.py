@@ -1,0 +1,328 @@
+"""Chaos worker faults and checkpoint/resume for the sweep executor.
+
+Two pieces make executor degradation testable the same way simulator
+degradation is (:mod:`repro.faults`):
+
+:class:`WorkerFaultPlan`
+    A seeded, frozen, JSON round-trippable description of what breaks in
+    the *worker pool* — crash / hang / slow-down probabilities plus an
+    explicit poison list of job keys that always crash.  Every verdict is
+    a pure function of ``(plan, job key, attempt salt)`` drawn from
+    ``random.Random``, never the global generator, so a chaos sweep is
+    exactly reproducible: the same plan faults the same attempts of the
+    same jobs no matter how the pool schedules them.  The plan is shipped
+    into each worker via the process-pool initializer
+    (:func:`install_worker_fault_plan`), mirroring how
+    :class:`~repro.faults.plan.FaultPlan` rides on the config.
+
+:class:`SweepManifest`
+    An append-only JSONL journal of completed job cache keys, written
+    next to the :class:`~repro.exec.diskcache.DiskResultCache`.  Each
+    record is flushed and fsynced before the executor acknowledges the
+    job, so a crashed or aborted sweep leaves a complete prefix; opening
+    a manifest in resume mode loads that prefix and the executor serves
+    the journaled jobs straight from the disk cache.  A torn final line
+    (crash mid-append) parses as "not journaled", never as corruption.
+
+The pool entry point :func:`execute_job_resilient` subsumes the plain
+timed/observed entries: it applies the worker-local plan's verdict
+(crash = hard process death, hang = a long finite stall, slow = an
+inflated wall-clock), then runs the job exactly as
+:func:`~repro.exec.jobs.execute_job` would — chaos perturbs *timing and
+liveness only*, never the simulation, which is what keeps the digest
+invariant (chaos run == serial run) provable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import signal
+import tempfile
+import time
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, Optional, Set, Tuple
+
+from repro.errors import ConfigurationError
+from repro.exec.jobs import RunJob, execute_job, execute_job_observed
+from repro.exec.progress import read_jsonl_prefix
+
+#: Chaos verdicts, in precedence order.
+OK = "ok"
+CRASH = "crash"
+HANG = "hang"
+SLOW = "slow"
+
+_CRASH_MODES = ("exit", "kill")
+
+
+@dataclass(frozen=True)
+class WorkerFaultPlan:
+    """One deterministic worker-pool chaos scenario."""
+
+    seed: int = 0
+    #: Per-attempt probability that the worker process dies mid-job.
+    crash_prob: float = 0.0
+    #: Per-attempt probability that the worker stalls for
+    #: :attr:`hang_seconds` before doing any work (finite, so a sweep
+    #: without timeouts still terminates — a hung worker eventually
+    #: recovers, exactly like a fail-slow link).
+    hang_prob: float = 0.0
+    #: Per-attempt probability that the job runs at ``1/slow_factor``
+    #: effective speed (the worker sleeps off the difference).
+    slow_prob: float = 0.0
+    slow_factor: float = 4.0
+    hang_seconds: float = 5.0
+    #: Job keys (see :meth:`RunJob.job_key`) that crash on *every*
+    #: attempt — the permanent-failure case the circuit breaker exists
+    #: for.
+    poison_keys: Tuple[str, ...] = ()
+    #: How a crash verdict kills the worker: ``"exit"`` is an immediate
+    #: ``os._exit`` (interpreter death), ``"kill"`` is a self-delivered
+    #: SIGKILL (host/OOM-killer death).  Both surface to the parent as a
+    #: broken pool.
+    crash_mode: str = "exit"
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "hang_prob", "slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.crash_prob + self.hang_prob + self.slow_prob > 1.0:
+            raise ConfigurationError(
+                "crash_prob + hang_prob + slow_prob must not exceed 1"
+            )
+        if self.slow_factor < 1.0:
+            raise ConfigurationError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        if self.hang_seconds < 0.0:
+            raise ConfigurationError(
+                f"hang_seconds must be >= 0, got {self.hang_seconds}"
+            )
+        if self.crash_mode not in _CRASH_MODES:
+            raise ConfigurationError(
+                f"crash_mode must be one of {_CRASH_MODES}, "
+                f"got {self.crash_mode!r}"
+            )
+        object.__setattr__(
+            self, "poison_keys", tuple(sorted(set(self.poison_keys)))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan injects nothing — a chaos sweep under an
+        empty plan must behave byte-identically to a plan-less one."""
+        return (
+            self.crash_prob == 0.0
+            and self.hang_prob == 0.0
+            and self.slow_prob == 0.0
+            and not self.poison_keys
+        )
+
+    def describe(self) -> str:
+        """Short identity string for logs and failure records."""
+        parts = [f"seed={self.seed}"]
+        if self.crash_prob:
+            parts.append(f"crash={self.crash_prob:.3f}({self.crash_mode})")
+        if self.hang_prob:
+            parts.append(f"hang={self.hang_prob:.3f}/{self.hang_seconds:g}s")
+        if self.slow_prob:
+            parts.append(f"slow={self.slow_prob:.3f}x{self.slow_factor:g}")
+        if self.poison_keys:
+            parts.append(f"poison-{len(self.poison_keys)}")
+        return ",".join(parts)
+
+    def verdict_for(self, key: str, salt: str) -> str:
+        """The chaos verdict for one attempt of one job.
+
+        ``key`` is the job's stable human identity
+        (:meth:`RunJob.job_key`); ``salt`` names the attempt (the
+        executor uses the charged-failure count, so verdicts are
+        independent of pool scheduling).  Pure: same plan, key, and salt
+        always give the same verdict.
+        """
+        if key in self.poison_keys:
+            return CRASH
+        draw = random.Random(f"wfp:{self.seed}:{salt}:{key}").random()
+        if draw < self.crash_prob:
+            return CRASH
+        draw -= self.crash_prob
+        if draw < self.hang_prob:
+            return HANG
+        draw -= self.hang_prob
+        if draw < self.slow_prob:
+            return SLOW
+        return OK
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "crash_prob": self.crash_prob,
+            "hang_prob": self.hang_prob,
+            "slow_prob": self.slow_prob,
+            "slow_factor": self.slow_factor,
+            "hang_seconds": self.hang_seconds,
+            "poison_keys": list(self.poison_keys),
+            "crash_mode": self.crash_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkerFaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            crash_prob=data.get("crash_prob", 0.0),
+            hang_prob=data.get("hang_prob", 0.0),
+            slow_prob=data.get("slow_prob", 0.0),
+            slow_factor=data.get("slow_factor", 4.0),
+            hang_seconds=data.get("hang_seconds", 5.0),
+            poison_keys=tuple(data.get("poison_keys", ())),
+            crash_mode=data.get("crash_mode", "exit"),
+        )
+
+
+# ----------------------------------------------------------------------
+# Worker-side plan installation and the chaos-aware pool entry
+# ----------------------------------------------------------------------
+#: The plan this worker process runs under (set by the pool initializer;
+#: None in chaos-free pools and in the parent).
+_WORKER_PLAN: Optional[WorkerFaultPlan] = None
+
+
+def install_worker_fault_plan(data: Optional[Dict[str, object]]) -> None:
+    """Process-pool initializer: arm (or disarm) chaos in this worker."""
+    global _WORKER_PLAN
+    _WORKER_PLAN = WorkerFaultPlan.from_dict(data) if data else None
+
+
+def _die(plan: WorkerFaultPlan) -> None:
+    if plan.crash_mode == "kill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    os._exit(13)
+
+
+def execute_job_resilient(
+    job: RunJob,
+    key: str,
+    salt: str,
+    observed: bool = False,
+    chaos: bool = True,
+) -> Tuple[object, float, Optional[Dict[str, int]], int]:
+    """Pool entry point: chaos-aware job execution with liveness.
+
+    Returns ``(result, wall_seconds, counters_or_None, pid)`` — the pid
+    feeds the heartbeat's per-worker last-seen map.  ``chaos=False``
+    suppresses the installed plan for this attempt; the executor uses it
+    for speculative copies, so a speculation race never breaks the pool
+    it was meant to rescue.
+    """
+    plan = _WORKER_PLAN if chaos else None
+    verdict = OK
+    if plan is not None and not plan.is_empty:
+        verdict = plan.verdict_for(key, salt)
+        if verdict == CRASH:
+            _die(plan)
+        if verdict == HANG:
+            time.sleep(plan.hang_seconds)
+    started = perf_counter()
+    counters: Optional[Dict[str, int]] = None
+    if observed:
+        result, _wall, counters = execute_job_observed(job)
+    else:
+        result = execute_job(job)
+    if verdict == SLOW and plan is not None:
+        busy = perf_counter() - started
+        time.sleep(busy * (plan.slow_factor - 1.0))
+    return result, perf_counter() - started, counters, os.getpid()
+
+
+# ----------------------------------------------------------------------
+# Checkpoint manifest
+# ----------------------------------------------------------------------
+class SweepManifest:
+    """Append-only JSONL journal of completed job cache keys.
+
+    Crash-safety contract: a key appears in the manifest only *after*
+    its result is durably in the disk cache, and each record is flushed
+    and fsynced before :meth:`record` returns — so every journaled key
+    is servable on resume, and a torn final line means exactly one job
+    that must simply re-run.
+    """
+
+    def __init__(self, path, resume: bool = False) -> None:
+        self.path = str(path)
+        #: Keys journaled by the run(s) this manifest resumed from.
+        self.resumed_keys: Set[str] = set()
+        #: Every key journaled, inherited or appended.
+        self.seen: Set[str] = set()
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        if resume and os.path.exists(self.path):
+            entries = read_jsonl_prefix(self.path)
+            for entry in entries:
+                key = entry.get("key")
+                if isinstance(key, str):
+                    self.resumed_keys.add(key)
+            self.seen = set(self.resumed_keys)
+            # Repair a torn tail before appending: a new record written
+            # after a partial line would corrupt an otherwise-parseable
+            # journal.  Atomic rewrite of the complete prefix.
+            fd, tmp_name = tempfile.mkstemp(
+                dir=directory, prefix="manifest", suffix=".tmp"
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for entry in entries:
+                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            os.replace(tmp_name, self.path)
+        else:
+            # A fresh manifest describes exactly one sweep.
+            with open(self.path, "w", encoding="utf-8"):
+                pass
+        self._handle = open(self.path, "a", encoding="utf-8")
+
+    def record(self, key: str, meta: Optional[Dict[str, object]] = None) -> bool:
+        """Journal one completed key (idempotent); True when written."""
+        if key in self.seen:
+            return False
+        self.seen.add(key)
+        entry: Dict[str, object] = {"key": key}
+        if meta:
+            entry.update(meta)
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.flush()
+        return True
+
+    def was_resumed(self, key: str) -> bool:
+        """Whether ``key`` was journaled by a previous, resumed run."""
+        return key in self.resumed_keys
+
+    def flush(self) -> None:
+        if not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __len__(self) -> int:
+        return len(self.seen)
+
+
+__all__ = [
+    "CRASH",
+    "HANG",
+    "OK",
+    "SLOW",
+    "SweepManifest",
+    "WorkerFaultPlan",
+    "execute_job_resilient",
+    "install_worker_fault_plan",
+]

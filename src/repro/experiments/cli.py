@@ -25,7 +25,8 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.exec import SweepExecutor, default_jobs
+from repro.errors import ReproError, SweepAbortedError
+from repro.exec import SweepExecutor, WorkerFaultPlan, default_jobs
 from repro.experiments import sweep as sweep_module
 from repro.experiments.common import DEFAULT_SCALE, RunCache
 from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
@@ -101,6 +102,56 @@ def build_parser() -> argparse.ArgumentParser:
              "counters back into the sweep registry (workers.* namespace; "
              "also feeds the heartbeat's events/sec)",
     )
+    resilience = parser.add_argument_group("resilience")
+    resilience.add_argument(
+        "--manifest",
+        default=None,
+        metavar="PATH",
+        help="journal each completed job's cache key to this append-only "
+             "JSONL file (requires --cache-dir); a crashed or aborted "
+             "sweep can later be continued with --resume PATH",
+    )
+    resilience.add_argument(
+        "--resume",
+        default=None,
+        metavar="PATH",
+        help="resume from a previous run's manifest: jobs journaled "
+             "there are served from the cache, everything else runs; "
+             "the manifest keeps growing (requires --cache-dir)",
+    )
+    resilience.add_argument(
+        "--speculate",
+        type=float,
+        default=None,
+        metavar="FACTOR",
+        help="straggler mitigation: once the running median job "
+             "wall-time is known, a job overdue by FACTOR x median gets "
+             "a speculative second copy (first result wins)",
+    )
+    resilience.add_argument(
+        "--max-consecutive-failures",
+        type=int,
+        default=None,
+        metavar="N",
+        help="circuit breaker: abort the sweep (exit code 3) after N "
+             "job failures in a row",
+    )
+    resilience.add_argument(
+        "--abort-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gracefully abort after N completed jobs — a deterministic "
+             "simulated interrupt for testing --resume",
+    )
+    resilience.add_argument(
+        "--worker-faults",
+        default=None,
+        metavar="PLAN.json",
+        help="chaos-test the executor under a WorkerFaultPlan JSON file "
+             "(seeded crash/hang/slow worker faults; results stay "
+             "byte-identical to a fault-free run)",
+    )
     grid = parser.add_argument_group("sweep grid (sweep verb only)")
     grid.add_argument(
         "--schemes",
@@ -127,8 +178,34 @@ def _split(text: Optional[str]) -> Optional[List[str]]:
     return [part.strip() for part in text.split(",") if part.strip()]
 
 
+def _load_worker_faults(path: str) -> WorkerFaultPlan:
+    with open(path, "r", encoding="utf-8") as handle:
+        return WorkerFaultPlan.from_dict(json.load(handle))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.manifest and args.resume:
+        parser.error("--manifest and --resume are mutually exclusive")
+    manifest_path = args.resume or args.manifest
+    if manifest_path and not args.cache_dir:
+        parser.error(
+            "--manifest/--resume require --cache-dir (the manifest "
+            "journals keys into the disk result cache)"
+        )
+    worker_faults = None
+    if args.worker_faults:
+        try:
+            worker_faults = _load_worker_faults(args.worker_faults)
+        except (OSError, ValueError, KeyError, ReproError) as exc:
+            print(
+                f"error: cannot load worker fault plan "
+                f"{args.worker_faults}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
 
     benchmarks = _split(args.benchmarks)
     executor = SweepExecutor(
@@ -137,9 +214,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         job_timeout=args.job_timeout,
         worker_metrics=args.worker_metrics,
         heartbeat=args.progress,
+        worker_faults=worker_faults,
+        manifest=manifest_path,
+        resume=bool(args.resume),
+        speculate=args.speculate,
+        max_consecutive_failures=args.max_consecutive_failures,
+        abort_after=args.abort_after,
     )
     cache = RunCache(executor=executor)
     sink = open(args.output, "a") if args.output else None
+    aborted: Optional[SweepAbortedError] = None
     try:
         if args.experiment.lower() == "sweep":
             runs = [("sweep", lambda **kw: sweep_module.run(
@@ -162,16 +246,37 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[{experiment_id} completed in {time.time() - started:.1f}s]\n")
             if sink is not None:
                 sink.write(result.format_table() + "\n\n")
+    except SweepAbortedError as exc:
+        aborted = exc
     finally:
-        if sink is not None:
-            sink.close()
-        executor.finish_heartbeat()
-        if args.metrics_out:
-            with open(args.metrics_out, "w", encoding="utf-8") as handle:
-                json.dump(executor.snapshot(), handle, indent=2, sort_keys=True)
-                handle.write("\n")
+        # Nested so a failing sink close can never swallow the terminal
+        # heartbeat record, and a failing heartbeat write can never
+        # swallow the metrics snapshot or the manifest close.
+        try:
+            if sink is not None:
+                sink.close()
+        finally:
+            try:
+                executor.finish_heartbeat()
+            finally:
+                executor.close()
+                if args.metrics_out:
+                    with open(args.metrics_out, "w", encoding="utf-8") as handle:
+                        json.dump(
+                            executor.snapshot(), handle,
+                            indent=2, sort_keys=True,
+                        )
+                        handle.write("\n")
     for failure in executor.failures:
         print(f"warning: job failed: {failure.to_dict()}", file=sys.stderr)
+    if aborted is not None:
+        print(
+            f"sweep aborted: {aborted.reason} "
+            f"({len(aborted.results)} jobs completed and journaled, "
+            f"{len(aborted.failures)} failed)",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
