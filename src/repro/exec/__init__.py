@@ -7,11 +7,16 @@ picklable :class:`RunJob` descriptions, a content-addressed on-disk
 timeout/retry/speculation robustness and ``sweep.jobs.*`` progress
 metrics.  :mod:`repro.exec.resilience` adds the chaos-testing and
 checkpoint/resume layer: a seeded :class:`WorkerFaultPlan` injected into
-pool workers, and the append-only :class:`SweepManifest` journal that
-makes an interrupted sweep resumable.
+pool workers, a host-level :class:`HostFaultPlan` for the service layer,
+and the append-only :class:`SweepManifest` journal that makes an
+interrupted sweep resumable.  :mod:`repro.exec.service` scales the stack
+to many machines: a :class:`Coordinator` admits campaigns into the
+fcntl-locked :class:`JobLedger` lease table, and :class:`WorkerHost`
+processes drain it with TTL-lease failover (work-stealing) and
+content-addressed exactly-once commits.
 
 See docs/EXECUTION.md for the cache-key composition, the resilience
-model, and CLI examples.
+model, the sweep-service state machine, and CLI examples.
 """
 
 from repro.exec.diskcache import DiskResultCache
@@ -24,33 +29,47 @@ from repro.exec.jobs import (
     execute_job_observed,
     make_job,
 )
+from repro.exec.ledger import JobLedger
+from repro.exec.locking import HAVE_FCNTL, atomic_write_json, file_lock
 from repro.exec.progress import (
     SweepHeartbeat,
+    merge_heartbeat_streams,
     read_heartbeats,
     read_jsonl_prefix,
 )
 from repro.exec.resilience import (
+    HostFaultPlan,
     SweepManifest,
     WorkerFaultPlan,
     execute_job_resilient,
     install_worker_fault_plan,
 )
+from repro.exec.service import Coordinator, WorkerHost, default_host_id
 
 __all__ = [
     "CACHE_SCHEMA",
+    "Coordinator",
     "DiskResultCache",
+    "HAVE_FCNTL",
+    "HostFaultPlan",
     "JobFailure",
+    "JobLedger",
     "RunJob",
     "SweepExecutor",
     "SweepHeartbeat",
     "SweepManifest",
     "WorkerFaultPlan",
+    "WorkerHost",
+    "atomic_write_json",
+    "default_host_id",
     "default_jobs",
     "execute_job",
     "execute_job_observed",
     "execute_job_resilient",
+    "file_lock",
     "install_worker_fault_plan",
     "make_job",
+    "merge_heartbeat_streams",
     "read_heartbeats",
     "read_jsonl_prefix",
 ]

@@ -77,6 +77,12 @@ class DiskResultCache:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle, indent=1, sort_keys=True)
                 handle.write("\n")
+                # fsync before the rename: the sweep service journals a
+                # ledger commit immediately after store() returns, and a
+                # committed key whose bytes never reached disk would be
+                # unservable after a host crash.
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:

@@ -50,7 +50,7 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Deque, Dict, List, Optional, Sequence, Set
 
-from repro.errors import SweepAbortedError
+from repro.errors import ExecConfigError, SweepAbortedError
 from repro.exec.diskcache import DiskResultCache
 from repro.exec.jobs import (
     JobFailure,
@@ -149,6 +149,11 @@ class SweepExecutor:
         self.worker_faults: Optional[WorkerFaultPlan] = worker_faults
         #: Optional append-only checkpoint journal (see
         #: :class:`~repro.exec.resilience.SweepManifest`).
+        if resume and not manifest:
+            raise ExecConfigError(
+                "resume=True requires a manifest path: there is no journal "
+                "to resume from, so the sweep would silently run fresh"
+            )
         self.manifest: Optional[SweepManifest] = (
             SweepManifest(manifest, resume=resume) if manifest else None
         )

@@ -11,6 +11,9 @@ Each line is one self-contained JSON object; the last line is always the
 final state (``"phase": "finished"``).  Fields:
 
 ``elapsed``          seconds since the heartbeat started
+``t``                absolute wall-clock timestamp of the beat
+``seq``              monotonic per-writer sequence number (0, 1, 2, …)
+``host``             writer's host id, when one was configured
 ``total``            jobs queued so far (grows as experiments enqueue)
 ``done`` / ``failed`` / ``retried``  cumulative job outcomes
 ``cache_hits``       jobs served from the memory or disk cache
@@ -22,6 +25,13 @@ final state (``"phase": "finished"``).  Fields:
 
 Writes are throttled (default one per second) and re-open the file in
 append mode each time, so a crashed sweep leaves a complete prefix.
+
+The multi-host sweep service gives every worker host its own heartbeat
+file (`hosts/<host_id>.jsonl`); :func:`merge_heartbeat_streams` folds
+them into one deterministic timeline.  ``(t, host, seq)`` is the sort
+key: wall clocks order beats across hosts, and the per-host ``seq``
+breaks ties deterministically even when two hosts beat within the same
+clock tick.
 """
 
 from __future__ import annotations
@@ -29,15 +39,21 @@ from __future__ import annotations
 import json
 import os
 import time
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 
 class SweepHeartbeat:
     """Throttled JSONL progress writer (one line per beat)."""
 
-    def __init__(self, path: str, every: float = 1.0) -> None:
+    def __init__(
+        self,
+        path: str,
+        every: float = 1.0,
+        host_id: Optional[str] = None,
+    ) -> None:
         self.path = path
         self.every = max(0.0, float(every))
+        self.host_id = host_id
         self._started = time.time()
         self._last_write: Optional[float] = None
         self._finished = False
@@ -69,18 +85,30 @@ class SweepHeartbeat:
         events = record.pop("events", None)
         record["phase"] = record.get("phase", "running")
         record["elapsed"] = round(elapsed, 3)
+        record["t"] = round(now, 3)
+        record["seq"] = self.beats
+        if self.host_id is not None:
+            record["host"] = self.host_id
         done = int(record.get("done", 0))
         failed = int(record.get("failed", 0))
         total = int(record.get("total", 0))
         completed = done + failed
-        rate = (completed / elapsed) if elapsed > 0 and completed else None
-        record["jobs_per_sec"] = round(rate, 3) if rate else None
+        # Rate and ETA are derived, and both divisions need guards: a
+        # beat can land in a zero-elapsed window (clock granularity, or
+        # a forced beat right after start), and a sweep that has
+        # completed nothing yet has no rate to extrapolate from.
+        rate: Optional[float] = None
+        if elapsed > 0.0 and completed > 0:
+            rate = completed / elapsed
+        record["jobs_per_sec"] = round(rate, 3) if rate is not None else None
         record["events_per_sec"] = (
-            round(events / elapsed) if events and elapsed > 0 else None
+            round(events / elapsed) if events and elapsed > 0.0 else None
         )
         remaining = max(0, total - completed)
         record["eta_seconds"] = (
-            round(remaining / rate, 1) if rate and remaining else None
+            round(remaining / rate, 1)
+            if rate is not None and rate > 1e-9 and remaining
+            else None
         )
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
@@ -140,3 +168,40 @@ def read_heartbeats(path: str):
     always read how far the sweep got.
     """
     return read_jsonl_prefix(path)
+
+
+def _merge_key(record: Dict[str, object]) -> Tuple[float, str, int]:
+    """Deterministic cross-host ordering for merged heartbeat records.
+
+    ``t`` (absolute wall clock) orders beats across hosts; ``host`` and
+    the per-host monotonic ``seq`` break same-tick ties so two merges of
+    the same files always produce the same timeline.  Records from
+    pre-service heartbeat files (no ``t``/``seq``) sort by what they
+    have, defaulting to zero.
+    """
+    t = record.get("t", 0.0)
+    host = record.get("host", "")
+    seq = record.get("seq", 0)
+    return (
+        float(t) if isinstance(t, (int, float)) else 0.0,
+        str(host),
+        int(seq) if isinstance(seq, int) else 0,
+    )
+
+
+def merge_heartbeat_streams(paths: Iterable[str]) -> List[Dict[str, object]]:
+    """Fold per-host heartbeat files into one deterministic timeline.
+
+    Missing files are skipped (a host that died before its first beat
+    simply contributes nothing); torn final lines are tolerated per
+    stream.  The result is sorted by ``(t, host, seq)`` — see
+    :func:`_merge_key`.
+    """
+    merged: List[Dict[str, object]] = []
+    for path in paths:
+        try:
+            merged.extend(read_jsonl_prefix(path))
+        except FileNotFoundError:
+            continue
+    merged.sort(key=_merge_key)
+    return merged

@@ -23,6 +23,21 @@ degradation is (:mod:`repro.faults`):
     a manifest in resume mode loads that prefix and the executor serves
     the journaled jobs straight from the disk cache.  A torn final line
     (crash mid-append) parses as "not journaled", never as corruption.
+    Appends and the resume-time tail repair run under an fcntl file lock
+    (:func:`~repro.exec.locking.file_lock`) and re-open the file by path
+    each time, so multiple *processes* — the service layer's worker
+    hosts share one manifest — can append concurrently without
+    interleaving torn records or stranding a writer on a replaced inode.
+
+:class:`HostFaultPlan` is the next level up from
+:class:`WorkerFaultPlan`: where a worker plan breaks processes inside
+one machine's pool, a host plan breaks whole *worker hosts* of the
+multi-host sweep service (:mod:`repro.exec.service`) — a host crash
+mid-lease (hard ``os._exit`` between ledger claim and ledger commit), a
+heartbeat stall long enough for its leases to expire and be stolen, or
+a slowed host.  Verdicts are a pure function of ``(plan, job key, hold
+index)``, so the same plan kills the same holds of the same jobs no
+matter which host happens to claim them first.
 
 The pool entry point :func:`execute_job_resilient` subsumes the plain
 timed/observed entries: it applies the worker-local plan's verdict
@@ -47,15 +62,24 @@ from typing import Dict, Optional, Set, Tuple
 
 from repro.errors import ConfigurationError
 from repro.exec.jobs import RunJob, execute_job, execute_job_observed
+from repro.exec.locking import file_lock
 from repro.exec.progress import read_jsonl_prefix
 
-#: Chaos verdicts, in precedence order.
+#: Chaos verdicts, in precedence order.  ``STALL`` is host-level only:
+#: the host stops renewing its leases (heartbeat silence) without dying.
 OK = "ok"
 CRASH = "crash"
 HANG = "hang"
 SLOW = "slow"
+STALL = "stall"
 
 _CRASH_MODES = ("exit", "kill")
+
+#: Where a :class:`HostFaultPlan` crash verdict kills the host, relative
+#: to the ledger protocol: right after the claim (no work done), or
+#: after the result is durably stored but *before* the ledger commit —
+#: the window that proves commit-time dedup makes re-execution safe.
+_CRASH_POINTS = ("claim", "commit")
 
 
 @dataclass(frozen=True)
@@ -188,6 +212,139 @@ class WorkerFaultPlan:
         )
 
 
+@dataclass(frozen=True)
+class HostFaultPlan:
+    """One deterministic *worker-host* chaos scenario (service layer).
+
+    Probabilities are per *hold* — one host's tenure over one leased
+    job.  A crash verdict hard-kills the entire host process at
+    :attr:`crash_point`; a stall verdict silences its lease renewals
+    for :attr:`stall_seconds` (long enough, against a short TTL, for
+    surviving hosts to steal the work); a slow verdict stretches the
+    host's wall-clock after the job.  Like every chaos plan in this
+    repository, verdicts perturb timing and liveness only — the
+    simulation, and therefore the campaign's result bytes, are
+    untouched.
+    """
+
+    seed: int = 0
+    #: Per-hold probability that the host dies at :attr:`crash_point`.
+    crash_prob: float = 0.0
+    #: Per-hold probability of a heartbeat stall (no renewals for
+    #: :attr:`stall_seconds`; the host survives and later tries to
+    #: commit, exercising the dedup path when its lease was stolen).
+    stall_prob: float = 0.0
+    #: Per-hold probability the host sleeps off ``slow_factor - 1``
+    #: times the job's wall-clock after finishing it.
+    slow_prob: float = 0.0
+    crash_point: str = "claim"
+    stall_seconds: float = 5.0
+    slow_factor: float = 4.0
+    #: Job keys (:meth:`RunJob.job_key`) whose *first* hold always
+    #: crashes its host — the deterministic failover fixture: the first
+    #: claimant dies mid-lease, the steal (hold 1) survives.
+    doomed_keys: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("crash_prob", "stall_prob", "slow_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.crash_prob + self.stall_prob + self.slow_prob > 1.0:
+            raise ConfigurationError(
+                "crash_prob + stall_prob + slow_prob must not exceed 1"
+            )
+        if self.crash_point not in _CRASH_POINTS:
+            raise ConfigurationError(
+                f"crash_point must be one of {_CRASH_POINTS}, "
+                f"got {self.crash_point!r}"
+            )
+        if self.stall_seconds < 0.0:
+            raise ConfigurationError(
+                f"stall_seconds must be >= 0, got {self.stall_seconds}"
+            )
+        if self.slow_factor < 1.0:
+            raise ConfigurationError(
+                f"slow_factor must be >= 1, got {self.slow_factor}"
+            )
+        object.__setattr__(
+            self, "doomed_keys", tuple(sorted(set(self.doomed_keys)))
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        return (
+            self.crash_prob == 0.0
+            and self.stall_prob == 0.0
+            and self.slow_prob == 0.0
+            and not self.doomed_keys
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.crash_prob:
+            parts.append(
+                f"crash={self.crash_prob:.3f}@{self.crash_point}"
+            )
+        if self.stall_prob:
+            parts.append(
+                f"stall={self.stall_prob:.3f}/{self.stall_seconds:g}s"
+            )
+        if self.slow_prob:
+            parts.append(f"slow={self.slow_prob:.3f}x{self.slow_factor:g}")
+        if self.doomed_keys:
+            parts.append(f"doomed-{len(self.doomed_keys)}")
+        return ",".join(parts)
+
+    def verdict_for(self, job_key: str, hold: int) -> str:
+        """The verdict for one hold of one job.
+
+        ``hold`` is the ledger's count of previous holders (0 for the
+        first claimant), so a doomed job's steal — hold 1 — survives
+        by construction, and probabilistic verdicts are independent of
+        which host claims first.  Pure and reproducible.
+        """
+        if job_key in self.doomed_keys and hold == 0:
+            return CRASH
+        draw = random.Random(f"hfp:{self.seed}:{hold}:{job_key}").random()
+        if draw < self.crash_prob:
+            return CRASH
+        draw -= self.crash_prob
+        if draw < self.stall_prob:
+            return STALL
+        draw -= self.stall_prob
+        if draw < self.slow_prob:
+            return SLOW
+        return OK
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed,
+            "crash_prob": self.crash_prob,
+            "stall_prob": self.stall_prob,
+            "slow_prob": self.slow_prob,
+            "crash_point": self.crash_point,
+            "stall_seconds": self.stall_seconds,
+            "slow_factor": self.slow_factor,
+            "doomed_keys": list(self.doomed_keys),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "HostFaultPlan":
+        return cls(
+            seed=data.get("seed", 0),
+            crash_prob=data.get("crash_prob", 0.0),
+            stall_prob=data.get("stall_prob", 0.0),
+            slow_prob=data.get("slow_prob", 0.0),
+            crash_point=data.get("crash_point", "claim"),
+            stall_seconds=data.get("stall_seconds", 5.0),
+            slow_factor=data.get("slow_factor", 4.0),
+            doomed_keys=tuple(data.get("doomed_keys", ())),
+        )
+
+
 # ----------------------------------------------------------------------
 # Worker-side plan installation and the chaos-aware pool entry
 # ----------------------------------------------------------------------
@@ -254,38 +411,54 @@ class SweepManifest:
     and fsynced before :meth:`record` returns — so every journaled key
     is servable on resume, and a torn final line means exactly one job
     that must simply re-run.
+
+    Multi-writer contract: every append (and the resume-time tail
+    repair) holds an fcntl lock on a ``<path>.lock`` sidecar and
+    re-opens the journal by *path*, so any number of processes — the
+    sweep service runs one writer per worker host — can share one
+    manifest without interleaving torn records, and a repair's atomic
+    replace can never strand another writer on a dead inode.  Keys are
+    deduplicated per process; a cross-process duplicate is harmless
+    (resume reads the journal as a set).
     """
 
     def __init__(self, path, resume: bool = False) -> None:
         self.path = str(path)
         #: Keys journaled by the run(s) this manifest resumed from.
         self.resumed_keys: Set[str] = set()
-        #: Every key journaled, inherited or appended.
+        #: Every key journaled, inherited or appended by this process.
         self.seen: Set[str] = set()
         directory = os.path.dirname(os.path.abspath(self.path))
         os.makedirs(directory, exist_ok=True)
-        if resume and os.path.exists(self.path):
-            entries = read_jsonl_prefix(self.path)
-            for entry in entries:
-                key = entry.get("key")
-                if isinstance(key, str):
-                    self.resumed_keys.add(key)
-            self.seen = set(self.resumed_keys)
-            # Repair a torn tail before appending: a new record written
-            # after a partial line would corrupt an otherwise-parseable
-            # journal.  Atomic rewrite of the complete prefix.
-            fd, tmp_name = tempfile.mkstemp(
-                dir=directory, prefix="manifest", suffix=".tmp"
-            )
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+        self._lock_path = self.path + ".lock"
+        with file_lock(self._lock_path):
+            if resume and os.path.exists(self.path):
+                entries = read_jsonl_prefix(self.path)
                 for entry in entries:
-                    handle.write(json.dumps(entry, sort_keys=True) + "\n")
-            os.replace(tmp_name, self.path)
-        else:
-            # A fresh manifest describes exactly one sweep.
-            with open(self.path, "w", encoding="utf-8"):
-                pass
-        self._handle = open(self.path, "a", encoding="utf-8")
+                    key = entry.get("key")
+                    if isinstance(key, str):
+                        self.resumed_keys.add(key)
+                self.seen = set(self.resumed_keys)
+                # Repair a torn tail before appending: a new record
+                # written after a partial line would corrupt an
+                # otherwise-parseable journal.  Atomic rewrite of the
+                # complete prefix, under the append lock so concurrent
+                # writers cannot append to the replaced inode mid-repair.
+                fd, tmp_name = tempfile.mkstemp(
+                    dir=directory, prefix="manifest", suffix=".tmp"
+                )
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    for entry in entries:
+                        handle.write(
+                            json.dumps(entry, sort_keys=True) + "\n"
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp_name, self.path)
+            else:
+                # A fresh manifest describes exactly one sweep.
+                with open(self.path, "w", encoding="utf-8"):
+                    pass
 
     def record(self, key: str, meta: Optional[Dict[str, object]] = None) -> bool:
         """Journal one completed key (idempotent); True when written."""
@@ -295,8 +468,12 @@ class SweepManifest:
         entry: Dict[str, object] = {"key": key}
         if meta:
             entry.update(meta)
-        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
-        self.flush()
+        line = json.dumps(entry, sort_keys=True) + "\n"
+        with file_lock(self._lock_path):
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
         return True
 
     def was_resumed(self, key: str) -> bool:
@@ -304,13 +481,12 @@ class SweepManifest:
         return key in self.resumed_keys
 
     def flush(self) -> None:
-        if not self._handle.closed:
-            self._handle.flush()
-            os.fsync(self._handle.fileno())
+        """Durability no-op: every append is already flushed + fsynced
+        inside :meth:`record`'s locked critical section."""
 
     def close(self) -> None:
-        if not self._handle.closed:
-            self._handle.close()
+        """Teardown no-op: no persistent handle is held (each append
+        re-opens by path so multi-writer repairs stay safe)."""
 
     def __len__(self) -> int:
         return len(self.seen)
@@ -319,8 +495,10 @@ class SweepManifest:
 __all__ = [
     "CRASH",
     "HANG",
+    "HostFaultPlan",
     "OK",
     "SLOW",
+    "STALL",
     "SweepManifest",
     "WorkerFaultPlan",
     "execute_job_resilient",

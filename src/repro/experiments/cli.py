@@ -15,6 +15,18 @@ processes and memoise results in ``--cache-dir`` (content-addressed JSON;
 see docs/EXECUTION.md), so re-running a figure is free and a cold ``all``
 saturates the machine.  ``--metrics-out`` captures the ``sweep.jobs.*``
 progress counters and per-job wall-clock histogram.
+
+Multi-host sweep service verbs (see docs/EXECUTION.md, "Sweep service")::
+
+    hdpat-experiments submit --service-dir /shared/svc --campaign c1 \\
+        --tenant alice --schemes baseline,hdpat --benchmarks aes,fir
+    hdpat-experiments serve --service-dir /shared/svc        # per host
+    hdpat-experiments status --service-dir /shared/svc --campaign c1 \\
+        --output results.txt
+
+Exit codes: 0 success; 2 configuration error; 3 sweep aborted; 4 a
+submission was rejected with back-pressure (tenant queue cap); 5 a
+result table was requested for a campaign that is not fully committed.
 """
 
 from __future__ import annotations
@@ -25,11 +37,22 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.errors import ReproError, SweepAbortedError
+from repro.errors import (
+    BackPressureError,
+    CampaignError,
+    ReproError,
+    ServiceError,
+    SweepAbortedError,
+)
 from repro.exec import SweepExecutor, WorkerFaultPlan, default_jobs
+from repro.exec.resilience import HostFaultPlan
+from repro.exec.service import Coordinator, WorkerHost
 from repro.experiments import sweep as sweep_module
 from repro.experiments.common import DEFAULT_SCALE, RunCache
 from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
+
+#: CLI verbs handled by the sweep service, not the experiment runner.
+SERVICE_VERBS = ("serve", "submit", "status")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -39,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help=f"experiment id, one of {EXPERIMENT_IDS}, 'all', or 'sweep'",
+        help=f"experiment id, one of {EXPERIMENT_IDS}, 'all', 'sweep', or "
+             f"a service verb: {'/'.join(SERVICE_VERBS)}",
     )
     parser.add_argument(
         "--scale",
@@ -169,6 +193,92 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="comma-separated seeds (default: --seed)",
     )
+    service = parser.add_argument_group(
+        "sweep service (serve/submit/status verbs only)"
+    )
+    service.add_argument(
+        "--service-dir",
+        default=None,
+        metavar="PATH",
+        help="shared service root (ledger, result cache, manifest, and "
+             "per-host heartbeats all live here); required by every "
+             "service verb",
+    )
+    service.add_argument(
+        "--campaign",
+        default=None,
+        metavar="NAME",
+        help="campaign name: required by submit, optional scope for "
+             "status (and required when status writes --output)",
+    )
+    service.add_argument(
+        "--tenant",
+        default="default",
+        metavar="NAME",
+        help="submitting tenant (default %(default)s)",
+    )
+    service.add_argument(
+        "--weight",
+        type=float,
+        default=1.0,
+        metavar="W",
+        help="tenant fair-share weight: hosts dispatch tenants by "
+             "smallest dispatched/weight (default %(default)s)",
+    )
+    service.add_argument(
+        "--queue-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tenant queue-depth cap: a submission that would push the "
+             "tenant's pending+leased depth past N is rejected whole "
+             "with BackPressureError (exit code 4)",
+    )
+    service.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="job lease TTL; a host silent for longer than this has its "
+             "leases stolen by surviving hosts (submit only)",
+    )
+    service.add_argument(
+        "--max-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="attempts before a job is terminally failed (submit only)",
+    )
+    service.add_argument(
+        "--host-id",
+        default=None,
+        metavar="ID",
+        help="this worker host's id (default: hostname-pid)",
+    )
+    service.add_argument(
+        "--host-faults",
+        default=None,
+        metavar="PLAN.json",
+        help="chaos-test the serve loop under a HostFaultPlan JSON file "
+             "(seeded host crash / heartbeat stall / slow host; results "
+             "stay byte-identical to serial)",
+    )
+    service.add_argument(
+        "--poll",
+        type=float,
+        default=0.2,
+        metavar="SECONDS",
+        help="serve: idle wait between claims while other hosts hold "
+             "live leases (default %(default)s)",
+    )
+    service.add_argument(
+        "--max-runtime",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="serve: exit (releasing held leases) after this long even "
+             "if the ledger has not drained",
+    )
     return parser
 
 
@@ -183,9 +293,92 @@ def _load_worker_faults(path: str) -> WorkerFaultPlan:
         return WorkerFaultPlan.from_dict(json.load(handle))
 
 
+def _load_host_faults(path: str) -> HostFaultPlan:
+    with open(path, "r", encoding="utf-8") as handle:
+        return HostFaultPlan.from_dict(json.load(handle))
+
+
+def _floats(parts: Optional[List[str]]) -> Optional[List[float]]:
+    return [float(p) for p in parts] if parts else None
+
+
+def _ints(parts: Optional[List[str]]) -> Optional[List[int]]:
+    return [int(p) for p in parts] if parts else None
+
+
+def _service_main(parser: argparse.ArgumentParser, args) -> int:
+    """The serve/submit/status verbs (multi-host sweep service)."""
+    verb = args.experiment.lower()
+    if not args.service_dir:
+        parser.error(f"the {verb!r} verb requires --service-dir")
+    try:
+        if verb == "submit":
+            if not args.campaign:
+                parser.error("submit requires --campaign")
+            coordinator = Coordinator(
+                args.service_dir,
+                lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts,
+            )
+            summary = coordinator.submit(
+                args.campaign,
+                args.tenant,
+                schemes=_split(args.schemes),
+                benchmarks=_split(args.benchmarks),
+                scales=_floats(_split(args.scales)),
+                seeds=_ints(_split(args.seeds)),
+                weight=args.weight,
+                queue_cap=args.queue_cap,
+            )
+            print(json.dumps(summary, sort_keys=True))
+            return 0
+        if verb == "serve":
+            host_faults = (
+                _load_host_faults(args.host_faults)
+                if args.host_faults else None
+            )
+            host = WorkerHost(
+                args.service_dir,
+                host_id=args.host_id,
+                faults=host_faults,
+                poll=args.poll,
+                max_runtime=args.max_runtime,
+            )
+            summary = host.run()
+            print(json.dumps(summary, sort_keys=True))
+            return 0
+        # status
+        coordinator = Coordinator(args.service_dir, create=False)
+        status = coordinator.status(args.campaign)
+        print(json.dumps(status, sort_keys=True, indent=2))
+        if args.output:
+            if not args.campaign:
+                parser.error("status --output requires --campaign")
+            try:
+                table = coordinator.result_table(args.campaign)
+            except CampaignError as exc:
+                # The campaign exists (status above succeeded) but is
+                # not fully committed — distinct exit code so waiters
+                # can poll on it.
+                print(f"incomplete: {exc}", file=sys.stderr)
+                return 5
+            with open(args.output, "a", encoding="utf-8") as sink:
+                sink.write(table.format_table() + "\n\n")
+        return 0
+    except BackPressureError as exc:
+        print(f"back-pressure: {exc}", file=sys.stderr)
+        return 4
+    except (OSError, ValueError, KeyError, ServiceError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    if args.experiment.lower() in SERVICE_VERBS:
+        return _service_main(parser, args)
 
     if args.manifest and args.resume:
         parser.error("--manifest and --resume are mutually exclusive")
